@@ -1,0 +1,94 @@
+//! One representative point per paper figure, as criterion benchmarks.
+//! The full sweeps (every x-axis value, every series) are produced by the
+//! `repro` binary; these benches track regressions at the most
+//! discriminating points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lio_core::Engine;
+use lio_noncontig::{run, Access, Config, Pattern};
+
+fn cfg(
+    nprocs: usize,
+    nblock: u64,
+    sblock: u64,
+    access: Access,
+    engine: Engine,
+    data: u64,
+) -> Config {
+    Config {
+        nprocs,
+        nblock,
+        sblock,
+        pattern: Pattern::NcNc,
+        access,
+        engine,
+        bytes_per_proc: data,
+        verify: false,
+        cb_buffer: None,
+        ind_buffer: None,
+        reps: 3,
+    }
+}
+
+/// Figure 5 point: independent, Nblock = 4096, Sblock = 8, P = 2.
+fn fig5_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_nblock4096");
+    let data = 512u64 << 10;
+    g.throughput(Throughput::Bytes(data));
+    g.sample_size(10);
+    for (engine, name) in [(Engine::ListBased, "list_based"), (Engine::Listless, "listless")] {
+        g.bench_with_input(BenchmarkId::new(name, "nc-nc"), &engine, |b, &e| {
+            b.iter(|| run(&cfg(2, 4096, 8, Access::Independent, e, data)));
+        });
+    }
+    g.finish();
+}
+
+/// Figure 6 point: collective, Nblock = 1024, Sblock = 8, P = 8.
+fn fig6_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_nblock1024");
+    let data = 256u64 << 10;
+    g.throughput(Throughput::Bytes(data));
+    g.sample_size(10);
+    for (engine, name) in [(Engine::ListBased, "list_based"), (Engine::Listless, "listless")] {
+        g.bench_with_input(BenchmarkId::new(name, "nc-nc"), &engine, |b, &e| {
+            b.iter(|| run(&cfg(8, 1024, 8, Access::Collective, e, data)));
+        });
+    }
+    g.finish();
+}
+
+/// Figure 7 crossover points: Sblock = 8 vs 4096 (independent).
+fn fig7_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_sblock");
+    let data = 512u64 << 10;
+    g.throughput(Throughput::Bytes(data));
+    g.sample_size(10);
+    for sblock in [8u64, 4096] {
+        for (engine, name) in
+            [(Engine::ListBased, "list_based"), (Engine::Listless, "listless")]
+        {
+            g.bench_with_input(BenchmarkId::new(name, sblock), &engine, |b, &e| {
+                b.iter(|| run(&cfg(2, 8, sblock, Access::Independent, e, data)));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figure 8 point: collective scaling at P = 4.
+fn fig8_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_p4");
+    let data = 256u64 << 10;
+    g.throughput(Throughput::Bytes(data));
+    g.sample_size(10);
+    for (engine, name) in [(Engine::ListBased, "list_based"), (Engine::Listless, "listless")] {
+        g.bench_with_input(BenchmarkId::new(name, "nc-nc"), &engine, |b, &e| {
+            b.iter(|| run(&cfg(4, 64, 2048, Access::Collective, e, data)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig5_point, fig6_point, fig7_points, fig8_point);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! End-to-end independent data sieving through both engines, plus the
+//! sieving-buffer-size ablation (one of the design choices DESIGN.md
+//! calls out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lio_core::{File, Hints, SharedFile};
+use lio_datatype::Datatype;
+use lio_mpi::World;
+use lio_noncontig::figure4_filetype;
+use lio_pfs::MemFile;
+
+fn write_once(hints: Hints, nblock: u64, sblock: u64) {
+    let shared = SharedFile::new(MemFile::with_capacity((2 * nblock * sblock) as usize));
+    World::run(1, |comm| {
+        let mut f = File::open(comm, shared.clone(), hints).unwrap();
+        let ft = figure4_filetype(0, 2, nblock, sblock);
+        f.set_view(0, Datatype::byte(), ft).unwrap();
+        let data = vec![7u8; (nblock * sblock) as usize];
+        f.write_at(0, &data, data.len() as u64, &Datatype::byte())
+            .unwrap();
+    });
+}
+
+fn bench_sieve_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sieve_write");
+    let total = 1u64 << 20;
+    for sblock in [8u64, 512] {
+        let nblock = total / sblock;
+        g.throughput(Throughput::Bytes(total));
+        g.bench_with_input(
+            BenchmarkId::new("list_based", sblock),
+            &sblock,
+            |b, _| b.iter(|| write_once(Hints::list_based(), nblock, sblock)),
+        );
+        g.bench_with_input(BenchmarkId::new("listless", sblock), &sblock, |b, _| {
+            b.iter(|| write_once(Hints::listless(), nblock, sblock))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: how the sieving buffer size trades file accesses against
+/// list-navigation work.
+fn bench_sieve_buffer_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sieve_buffer_size");
+    let total = 1u64 << 20;
+    let sblock = 64u64;
+    let nblock = total / sblock;
+    for bufsize in [16usize << 10, 128 << 10, 1 << 20, 8 << 20] {
+        g.throughput(Throughput::Bytes(total));
+        g.bench_with_input(
+            BenchmarkId::new("listless", bufsize),
+            &bufsize,
+            |b, &bs| b.iter(|| write_once(Hints::listless().ind_buffer(bs), nblock, sblock)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("list_based", bufsize),
+            &bufsize,
+            |b, &bs| b.iter(|| write_once(Hints::list_based().ind_buffer(bs), nblock, sblock)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sieve_engines, bench_sieve_buffer_size
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! CLI for the BTIO kernel.
+//!
+//! ```text
+//! btio --class B --procs 4 --steps 40 --engine listless --sweeps 1
+//! btio --class B --procs 4 --no-io          # the t_no-io baseline
+//! ```
+
+use lio_btio::{run, volume_stats, Class, Config, Engine};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: btio [--class S|A|B|C|D] [--procs N(square)] [--steps N] \
+         [--engine list-based|listless] [--sweeps N] [--no-io]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = Config::new(Class::S, 4);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = || -> String { args.next().unwrap_or_else(|| usage()) };
+        match arg.as_str() {
+            "--class" => cfg.class = Class::parse(&val()).unwrap_or_else(|| usage()),
+            "--procs" => cfg.nprocs = val().parse().unwrap_or_else(|_| usage()),
+            "--steps" => cfg.nsteps = val().parse().unwrap_or_else(|_| usage()),
+            "--sweeps" => cfg.compute_sweeps = val().parse().unwrap_or_else(|_| usage()),
+            "--engine" => {
+                cfg.engine = match val().as_str() {
+                    "list-based" => Engine::ListBased,
+                    "listless" => Engine::Listless,
+                    _ => usage(),
+                }
+            }
+            "--no-io" => cfg.io_enabled = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let v = volume_stats(cfg.class, cfg.nsteps as u64);
+    println!(
+        "BTIO class {} on {} procs, {} steps, engine {:?}, io {}",
+        cfg.class.name(),
+        cfg.nprocs,
+        cfg.nsteps,
+        cfg.engine,
+        cfg.io_enabled,
+    );
+    println!(
+        "  Dstep = {:.1} MB, Drun = {:.2} GB",
+        v.dstep as f64 / 1e6,
+        v.drun as f64 / 1e9
+    );
+    let r = run(&cfg);
+    println!(
+        "  total = {:.3}s  io = {:.3}s  B_io = {:.0} MB/s  checksum = {:e}",
+        r.total_secs, r.io_secs, r.io_bandwidth_mbs, r.checksum
+    );
+}

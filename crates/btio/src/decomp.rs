@@ -1,0 +1,233 @@
+//! The BT diagonal multipartition decomposition.
+//!
+//! BT runs on `P = q²` processes. The `N³` grid is divided into `q³`
+//! cells; process `p = j·q + i` owns the `q` cells
+//! `{ ((i+c) mod q, (j−c) mod q, c) : c = 0..q }` — one per z-layer,
+//! shifted diagonally, so that every line of cells in every axis touches
+//! every process (the property BT's ADI sweeps need). This is the same
+//! assignment as NPB BT's `make_set`.
+//!
+//! When `q` does not divide `N`, the first `N mod q` cell rows/columns are
+//! one point larger, exactly as in NPB — which is how class B at P = 16
+//! ends up with the fractional average `Sblock = 1020` bytes of the
+//! paper's Table 2.
+
+/// One cell: start coordinates and sizes per dimension, ordered
+/// `[z, y, x]` (z slowest, matching the file layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// First grid point per dimension, `[z, y, x]`.
+    pub start: [u64; 3],
+    /// Points per dimension, `[z, y, x]`.
+    pub size: [u64; 3],
+}
+
+impl Cell {
+    /// Points in the cell.
+    pub fn points(&self) -> u64 {
+        self.size.iter().product()
+    }
+}
+
+/// The decomposition of an `N³` grid over `P = q²` processes.
+#[derive(Debug, Clone, Copy)]
+pub struct Decomp {
+    /// Grid points per dimension.
+    pub n: u64,
+    /// Cells per dimension (`√P`).
+    pub q: u64,
+}
+
+impl Decomp {
+    /// Build the decomposition; `nprocs` must be a perfect square.
+    pub fn new(n: u64, nprocs: usize) -> Option<Decomp> {
+        let q = (nprocs as f64).sqrt().round() as u64;
+        if q * q != nprocs as u64 || q == 0 || n < q {
+            return None;
+        }
+        Some(Decomp { n, q })
+    }
+
+    /// The start and length of cell-coordinate `c` along one axis.
+    pub fn dim_range(&self, c: u64) -> (u64, u64) {
+        let base = self.n / self.q;
+        let excess = self.n % self.q;
+        let start = c * base + c.min(excess);
+        let len = base + u64::from(c < excess);
+        (start, len)
+    }
+
+    /// The cell-grid coordinates `(xc, yc, zc)` of cell `c` of process `p`.
+    pub fn cell_coords(&self, p: usize, c: u64) -> (u64, u64, u64) {
+        let q = self.q;
+        let i = p as u64 % q;
+        let j = p as u64 / q;
+        ((i + c) % q, (j + q - c % q) % q, c)
+    }
+
+    /// The `q` cells owned by process `p`, in z-layer order.
+    pub fn cells_of(&self, p: usize) -> Vec<Cell> {
+        (0..self.q)
+            .map(|c| {
+                let (xc, yc, zc) = self.cell_coords(p, c);
+                let (xs, xl) = self.dim_range(xc);
+                let (ys, yl) = self.dim_range(yc);
+                let (zs, zl) = self.dim_range(zc);
+                Cell {
+                    start: [zs, ys, xs],
+                    size: [zl, yl, xl],
+                }
+            })
+            .collect()
+    }
+
+    /// Number of processes.
+    pub fn nprocs(&self) -> usize {
+        (self.q * self.q) as usize
+    }
+
+    /// Total grid points.
+    pub fn points(&self) -> u64 {
+        self.n * self.n * self.n
+    }
+
+    /// The I/O pattern characterization of the paper's Table 2 for one
+    /// process: `(Nblock, mean Sblock in bytes)` with 5 doubles per point.
+    /// A contiguous block is one x-row of one cell.
+    pub fn access_pattern(&self, p: usize) -> (u64, f64) {
+        let cells = self.cells_of(p);
+        let nblock: u64 = cells.iter().map(|c| c.size[0] * c.size[1]).sum();
+        let bytes: u64 = cells.iter().map(|c| c.points() * 40).sum();
+        (nblock, bytes as f64 / nblock as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Decomp::new(64, 3).is_none());
+        assert!(Decomp::new(64, 8).is_none());
+        assert!(Decomp::new(64, 4).is_some());
+        assert!(Decomp::new(64, 1).is_some());
+    }
+
+    #[test]
+    fn dim_ranges_partition_axis() {
+        for (n, q) in [(102u64, 4u64), (162, 5), (12, 2), (7, 3)] {
+            let d = Decomp { n, q };
+            let mut covered = 0;
+            for c in 0..q {
+                let (s, l) = d.dim_range(c);
+                assert_eq!(s, covered);
+                covered += l;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn cells_partition_grid() {
+        for (n, p) in [(12u64, 4usize), (102, 9), (13, 4), (27, 9)] {
+            let d = Decomp::new(n, p).unwrap();
+            let mut seen: HashSet<(u64, u64, u64)> = HashSet::new();
+            let mut total = 0;
+            for rank in 0..p {
+                for cell in d.cells_of(rank) {
+                    total += cell.points();
+                    for z in cell.start[0]..cell.start[0] + cell.size[0] {
+                        for y in cell.start[1]..cell.start[1] + cell.size[1] {
+                            for x in cell.start[2]..cell.start[2] + cell.size[2] {
+                                assert!(
+                                    seen.insert((z, y, x)),
+                                    "point ({z},{y},{x}) owned twice"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(total, d.points());
+            assert_eq!(seen.len() as u64, d.points());
+        }
+    }
+
+    #[test]
+    fn one_cell_per_z_layer() {
+        let d = Decomp::new(102, 9).unwrap();
+        for p in 0..9 {
+            let cells = d.cells_of(p);
+            let zs: Vec<u64> = cells.iter().map(|c| c.start[0]).collect();
+            // z-starts strictly increase: cells ordered by layer
+            assert!(zs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn every_z_layer_touches_every_process() {
+        // the multipartition property along z
+        let d = Decomp::new(12, 9).unwrap();
+        for c in 0..3u64 {
+            let mut owners = HashSet::new();
+            for p in 0..9 {
+                let (_, _, zc) = d.cell_coords(p, c);
+                assert_eq!(zc, c);
+                owners.insert(d.cell_coords(p, c));
+            }
+            assert_eq!(owners.len(), 9, "layer {c} cells not distinct");
+        }
+    }
+
+    #[test]
+    fn table2_class_b() {
+        // Paper Table 2, class B (N=102)
+        let cases = [
+            (4usize, 5202u64, 2040.0f64),
+            (9, 3468, 1360.0),
+            (16, 2601, 1020.0),
+            (25, 2080, 816.0),
+        ];
+        // The paper reports the rounded average N²/√P; with uneven cells
+        // a given rank can differ by up to ±√P rows.
+        for (p, nblock, sblock) in cases {
+            let d = Decomp::new(102, p).unwrap();
+            let (nb, sb) = d.access_pattern(0);
+            let q = (p as f64).sqrt() as i64;
+            assert!(
+                (nb as i64 - nblock as i64).abs() <= q,
+                "P={p} Nblock: got {nb}, want ~{nblock}"
+            );
+            assert!(
+                (sb - sblock).abs() / sblock < 0.02,
+                "P={p} Sblock: got {sb}, want ~{sblock}"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_class_c() {
+        // Paper Table 2, class C (N=162)
+        let cases = [
+            (4usize, 13122u64, 3240.0f64),
+            (9, 8748, 2160.0),
+            (16, 6561, 1620.0),
+            (25, 5248, 1296.0),
+        ];
+        for (p, nblock, sblock) in cases {
+            let d = Decomp::new(162, p).unwrap();
+            let (nb, sb) = d.access_pattern(0);
+            let q = (p as f64).sqrt() as i64;
+            assert!(
+                (nb as i64 - nblock as i64).abs() <= q,
+                "P={p} Nblock: got {nb}, want ~{nblock}"
+            );
+            assert!(
+                (sb - sblock).abs() / sblock < 0.02,
+                "P={p} Sblock: got {sb}, want ~{sblock}"
+            );
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! # lio-btio — the BTIO application kernel
+//!
+//! A reimplementation of the I/O behaviour of NASPB's BTIO benchmark
+//! (Section 4.2 of the paper): the solution array of a BT-style solver,
+//! decomposed by diagonal multipartition over `P = q²` processes, is
+//! appended to a shared file after every time step with a single
+//! collective write built on subarray datatypes.
+//!
+//! The BT ADI solver itself is replaced by a calibrated stencil
+//! relaxation ([`grid::Grid::relax`]); the I/O pattern — the paper's
+//! Tables 1 and 2 — is reproduced exactly by the same decomposition
+//! arithmetic as NPB BT.
+
+pub mod decomp;
+pub mod grid;
+pub mod io;
+
+use std::time::Instant;
+
+use lio_core::{File, Hints, SharedFile};
+use lio_datatype::Datatype;
+use lio_mpi::World;
+use lio_pfs::MemFile;
+
+pub use decomp::{Cell, Decomp};
+pub use grid::{expected_value, Grid, NVARS};
+pub use lio_core::Engine;
+
+/// BTIO problem classes and their grid sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// 12³ (sample class, for tests).
+    S,
+    /// 64³.
+    A,
+    /// 102³.
+    B,
+    /// 162³.
+    C,
+    /// 408³.
+    D,
+}
+
+impl Class {
+    /// Grid points per dimension.
+    pub fn n(&self) -> u64 {
+        match self {
+            Class::S => 12,
+            Class::A => 64,
+            Class::B => 102,
+            Class::C => 162,
+            Class::D => 408,
+        }
+    }
+
+    /// The class letter.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Class::S => "S",
+            Class::A => "A",
+            Class::B => "B",
+            Class::C => "C",
+            Class::D => "D",
+        }
+    }
+
+    /// Parse a class letter.
+    pub fn parse(s: &str) -> Option<Class> {
+        match s {
+            "S" | "s" => Some(Class::S),
+            "A" | "a" => Some(Class::A),
+            "B" | "b" => Some(Class::B),
+            "C" | "c" => Some(Class::C),
+            "D" | "d" => Some(Class::D),
+            _ => None,
+        }
+    }
+}
+
+/// BTIO configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Problem class (grid size).
+    pub class: Class,
+    /// Process count; must be a perfect square.
+    pub nprocs: usize,
+    /// Time steps (BTIO default: 40).
+    pub nsteps: usize,
+    /// Engine for the I/O path.
+    pub engine: Engine,
+    /// Whether I/O is performed at all (off = the plain BT run, the
+    /// paper's `t_no-io`).
+    pub io_enabled: bool,
+    /// Relaxation sweeps per step (the compute stand-in's weight).
+    pub compute_sweeps: usize,
+    /// Collective buffer override.
+    pub cb_buffer: Option<usize>,
+    /// After the run, collectively read the final step back and compare
+    /// with the in-memory state (BTIO's verification phase).
+    pub verify_read: bool,
+}
+
+impl Config {
+    /// A BTIO run of `class` on `nprocs` processes with defaults.
+    pub fn new(class: Class, nprocs: usize) -> Config {
+        Config {
+            class,
+            nprocs,
+            nsteps: 40,
+            engine: Engine::Listless,
+            io_enabled: true,
+            compute_sweeps: 1,
+            cb_buffer: None,
+            verify_read: false,
+        }
+    }
+}
+
+/// Data-volume characterization (the paper's Table 1).
+#[derive(Debug, Clone, Copy)]
+pub struct VolumeStats {
+    /// Bytes written per time step (all processes).
+    pub dstep: u64,
+    /// Bytes written over the whole run.
+    pub drun: u64,
+}
+
+/// Compute Table 1's `Dstep`/`Drun` for a class.
+pub fn volume_stats(class: Class, nsteps: u64) -> VolumeStats {
+    let n = class.n();
+    let dstep = n * n * n * (NVARS as u64) * 8;
+    VolumeStats {
+        dstep,
+        drun: dstep * nsteps,
+    }
+}
+
+/// Result of one BTIO run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Total wall-clock seconds (slowest rank).
+    pub total_secs: f64,
+    /// Seconds spent inside collective writes (slowest rank's sum).
+    pub io_secs: f64,
+    /// Seconds spent in the read-back verification phase (0 when
+    /// `verify_read` is off).
+    pub read_secs: f64,
+    /// Bytes written to the file over the run (all ranks).
+    pub bytes_written: u64,
+    /// Effective I/O bandwidth in MB/s (`bytes_written / io_secs`).
+    pub io_bandwidth_mbs: f64,
+    /// Solver checksum (prevents dead-code elimination; equal across
+    /// configurations with the same class/steps/sweeps).
+    pub checksum: f64,
+}
+
+/// Run BTIO. Returns timing and bandwidth.
+///
+/// With `io_enabled = false` this is the plain BT-style run (`t_no-io`);
+/// the paper's `Δt_io` is the difference in `total_secs` between the two,
+/// which closely tracks `io_secs`.
+pub fn run(cfg: &Config) -> RunResult {
+    run_on(cfg, SharedFile::new(MemFile::new()))
+}
+
+/// Run BTIO against a caller-supplied file (examples use a `UnixFile`).
+pub fn run_on(cfg: &Config, shared: SharedFile) -> RunResult {
+    let d = Decomp::new(cfg.class.n(), cfg.nprocs)
+        .expect("BTIO requires a square process count that divides the grid");
+    let mut hints = Hints::with_engine(cfg.engine);
+    if let Some(cb) = cfg.cb_buffer {
+        hints = hints.cb_buffer(cb);
+    }
+    if cfg.io_enabled {
+        // pre-fault the output file so engine comparisons are not skewed
+        // by first-touch page faults
+        shared
+            .storage()
+            .set_len(volume_stats(cfg.class, cfg.nsteps as u64).drun)
+            .expect("prefault file");
+    }
+    let cfg2 = cfg.clone();
+    let results = World::run(cfg.nprocs, move |comm| {
+        let me = comm.rank();
+        let mut grid = Grid::new(&d, me);
+        grid.initialize();
+        let ft = io::filetype(&d, me);
+        let mt = io::memtype(&grid);
+        let step_etypes = grid.points() * NVARS as u64; // doubles per step
+
+        let mut f = File::open(comm, shared.clone(), hints).expect("open");
+        if cfg2.io_enabled {
+            f.set_view(0, Datatype::double(), ft).expect("set_view");
+        }
+
+        let mut checksum = 0.0f64;
+        let mut io_secs = 0.0f64;
+        comm.barrier();
+        let t0 = Instant::now();
+        for step in 0..cfg2.nsteps {
+            checksum += grid.relax(cfg2.compute_sweeps);
+            if cfg2.io_enabled {
+                let t_io = Instant::now();
+                f.write_at_all(step as u64 * step_etypes, grid.bytes(), 1, &mt)
+                    .expect("write_at_all");
+                io_secs += t_io.elapsed().as_secs_f64();
+            }
+        }
+        comm.barrier();
+        let total = comm.allmax_f64(t0.elapsed().as_secs_f64());
+
+        // BTIO's verification phase: read the final step back through the
+        // same view and compare against the in-memory interior.
+        let mut read_secs = 0.0f64;
+        if cfg2.io_enabled && cfg2.verify_read && cfg2.nsteps > 0 {
+            let mut scratch = vec![0u8; grid.bytes().len()];
+            comm.barrier();
+            let t_rd = Instant::now();
+            let last = (cfg2.nsteps as u64 - 1) * step_etypes;
+            f.read_at_all(last, &mut scratch, 1, &mt).expect("read_at_all");
+            read_secs = comm.allmax_f64(t_rd.elapsed().as_secs_f64());
+            // compare at the memtype's data positions only
+            let mine = grid.bytes();
+            for run in lio_datatype::typemap::expand(&mt, 1) {
+                let o = run.disp as usize;
+                assert_eq!(
+                    &scratch[o..o + run.len as usize],
+                    &mine[o..o + run.len as usize],
+                    "read-back mismatch at run {run:?}"
+                );
+            }
+        }
+        let io = comm.allmax_f64(io_secs);
+        (total, io, read_secs, checksum)
+    });
+
+    let (total_secs, io_secs, read_secs, checksum) = results[0];
+    let bytes_written = if cfg.io_enabled {
+        volume_stats(cfg.class, cfg.nsteps as u64).drun
+    } else {
+        0
+    };
+    RunResult {
+        total_secs,
+        io_secs,
+        read_secs,
+        bytes_written,
+        io_bandwidth_mbs: if io_secs > 0.0 {
+            bytes_written as f64 / io_secs / 1.0e6
+        } else {
+            0.0
+        },
+        checksum,
+    }
+}
+
+/// Verify a BTIO output file written with `compute_sweeps = 0` (so every
+/// step carries the initial values): each step's image must hold
+/// [`expected_value`] at every point of the sampled planes. Returns the
+/// number of doubles checked.
+pub fn verify_file(shared: &SharedFile, class: Class, nsteps: usize) -> u64 {
+    let n = class.n();
+    let step_bytes = n * n * n * (NVARS as u64) * 8;
+    assert_eq!(
+        shared.len(),
+        step_bytes * nsteps as u64,
+        "file size mismatch"
+    );
+    let row_bytes = (n * (NVARS as u64) * 8) as usize;
+    let mut buf = vec![0u8; row_bytes];
+    let mut checked = 0u64;
+    for step in 0..nsteps as u64 {
+        // check two z-planes per step (first and last) to bound cost
+        for z in [0, n - 1] {
+            for y in 0..n {
+                let off = step * step_bytes + ((z * n + y) * n) * (NVARS as u64) * 8;
+                shared.storage().read_at(off, &mut buf).expect("read row");
+                for x in 0..n {
+                    for v in 0..NVARS {
+                        let o = (x * NVARS as u64 + v as u64) as usize * 8;
+                        let got = f64::from_le_bytes(buf[o..o + 8].try_into().expect("f64"));
+                        let want = expected_value(z, y, x, v);
+                        assert_eq!(got, want, "step {step} point ({z},{y},{x})[{v}]");
+                        checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    checked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_sizes() {
+        assert_eq!(Class::B.n(), 102);
+        assert_eq!(Class::C.n(), 162);
+        assert_eq!(Class::parse("b"), Some(Class::B));
+        assert_eq!(Class::parse("x"), None);
+    }
+
+    #[test]
+    fn table1_volumes() {
+        // Table 1: class B Dstep = 42 MB, Drun = 1.7 GB; class C 170 MB / 6.8 GB
+        let b = volume_stats(Class::B, 40);
+        assert_eq!(b.dstep, 102 * 102 * 102 * 40);
+        assert!((b.dstep as f64 / 1e6 - 42.4).abs() < 0.5);
+        assert!((b.drun as f64 / 1e9 - 1.7).abs() < 0.05);
+        let c = volume_stats(Class::C, 40);
+        assert!((c.dstep as f64 / 1e6 - 170.0).abs() < 1.0);
+        assert!((c.drun as f64 / 1e9 - 6.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn class_s_roundtrip_both_engines() {
+        for engine in [Engine::ListBased, Engine::Listless] {
+            let shared = SharedFile::new(MemFile::new());
+            let mut cfg = Config::new(Class::S, 4);
+            cfg.nsteps = 3;
+            cfg.compute_sweeps = 0; // keep initial values for verification
+            cfg.engine = engine;
+            let r = run_on(&cfg, shared.clone());
+            assert_eq!(r.bytes_written, volume_stats(Class::S, 3).drun);
+            assert!(r.total_secs > 0.0);
+            let checked = verify_file(&shared, Class::S, 3);
+            assert!(checked > 0);
+        }
+    }
+
+    #[test]
+    fn both_engines_write_identical_files() {
+        let mut snaps = Vec::new();
+        for engine in [Engine::ListBased, Engine::Listless] {
+            let shared = SharedFile::new(MemFile::new());
+            let mut cfg = Config::new(Class::S, 4);
+            cfg.nsteps = 2;
+            cfg.compute_sweeps = 1; // relaxed values, still deterministic
+            cfg.engine = engine;
+            run_on(&cfg, shared.clone());
+            let mut snap = vec![0u8; shared.len() as usize];
+            shared.storage().read_at(0, &mut snap).unwrap();
+            snaps.push(snap);
+        }
+        assert_eq!(snaps[0], snaps[1]);
+    }
+
+    #[test]
+    fn single_process_btio() {
+        let shared = SharedFile::new(MemFile::new());
+        let mut cfg = Config::new(Class::S, 1);
+        cfg.nsteps = 2;
+        cfg.compute_sweeps = 0;
+        run_on(&cfg, shared.clone());
+        verify_file(&shared, Class::S, 2);
+    }
+
+    #[test]
+    fn nine_processes_btio() {
+        let shared = SharedFile::new(MemFile::new());
+        let mut cfg = Config::new(Class::S, 9);
+        cfg.nsteps = 1;
+        cfg.compute_sweeps = 0;
+        run_on(&cfg, shared.clone());
+        verify_file(&shared, Class::S, 1);
+    }
+
+    #[test]
+    fn io_disabled_writes_nothing() {
+        let shared = SharedFile::new(MemFile::new());
+        let mut cfg = Config::new(Class::S, 4);
+        cfg.nsteps = 2;
+        cfg.io_enabled = false;
+        let r = run_on(&cfg, shared.clone());
+        assert_eq!(shared.len(), 0);
+        assert_eq!(r.bytes_written, 0);
+        assert_eq!(r.io_secs, 0.0);
+    }
+
+    #[test]
+    fn read_back_verification_passes() {
+        for engine in [Engine::ListBased, Engine::Listless] {
+            let mut cfg = Config::new(Class::S, 4);
+            cfg.nsteps = 3;
+            cfg.compute_sweeps = 2;
+            cfg.engine = engine;
+            cfg.verify_read = true;
+            let r = run(&cfg);
+            assert!(r.read_secs > 0.0, "read phase must have been timed");
+        }
+    }
+
+    #[test]
+    fn checksum_independent_of_engine_and_io() {
+        let mut cfg = Config::new(Class::S, 4);
+        cfg.nsteps = 2;
+        cfg.compute_sweeps = 2;
+        let a = run(&cfg);
+        cfg.engine = Engine::ListBased;
+        let b = run(&cfg);
+        cfg.io_enabled = false;
+        let c = run(&cfg);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(b.checksum, c.checksum);
+    }
+}

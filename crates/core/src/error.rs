@@ -1,0 +1,53 @@
+//! Error type for the MPI-IO layer.
+
+use std::fmt;
+use std::io;
+
+use lio_datatype::TypeError;
+
+/// Errors from file operations.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying storage failure.
+    Storage(io::Error),
+    /// Invalid datatype for the requested role.
+    Datatype(TypeError),
+    /// The call violated an interface contract (wrong buffer size,
+    /// unsupported hint combination, ...).
+    Usage(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Storage(e) => write!(f, "storage error: {e}"),
+            IoError::Datatype(e) => write!(f, "datatype error: {e}"),
+            IoError::Usage(s) => write!(f, "usage error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Storage(e) => Some(e),
+            IoError::Datatype(e) => Some(e),
+            IoError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Storage(e)
+    }
+}
+
+impl From<TypeError> for IoError {
+    fn from(e: TypeError) -> Self {
+        IoError::Datatype(e)
+    }
+}
+
+/// Result alias for file operations.
+pub type Result<T> = std::result::Result<T, IoError>;

@@ -1,0 +1,263 @@
+//! Tuning hints, modelled on ROMIO's `MPI_Info` keys.
+
+/// Which datatype-handling engine a file uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Explicit flattening into `⟨offset, length⟩` lists; linear-list
+    /// navigation; ol-list exchange for collective access. The ROMIO-style
+    /// baseline (paper Section 2).
+    ListBased,
+    /// Flattening-on-the-fly; `O(depth)` navigation; fileview caching and
+    /// mergeview for collective access. The paper's contribution
+    /// (Section 3).
+    Listless,
+}
+
+/// How independent non-contiguous accesses touch the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SievingMode {
+    /// Data sieving: read a large window, copy through it, write it back
+    /// (ROMIO's default; the paper's Section 2.2).
+    Sieve,
+    /// One file access per contiguous block — the alternative the paper's
+    /// outlook discusses as a trade-off against sieving.
+    Direct,
+    /// Decide per access: sieving pays when the view is dense inside its
+    /// extent (most of each window is useful); direct access pays when
+    /// blocks are large and sparse. This implements the "more general
+    /// optimization ... the decision on the trade-off between data
+    /// sieving and multiple file accesses" of the paper's outlook
+    /// (Section 5). See [`crate::sieve::choose_mode`] for the heuristic.
+    Auto,
+}
+
+/// Per-file tuning knobs (ROMIO's `ind_rd_buffer_size`,
+/// `cb_buffer_size`, `cb_nodes`, ... equivalents).
+#[derive(Debug, Clone, Copy)]
+pub struct Hints {
+    /// Engine selection.
+    pub engine: Engine,
+    /// Buffer size for independent data sieving (ROMIO default: 512 KiB
+    /// for writes / 4 MiB for reads; we use one knob).
+    pub ind_buffer_size: usize,
+    /// Buffer size for collective (two-phase) file access per IOP window
+    /// (ROMIO default 4 MiB).
+    pub cb_buffer_size: usize,
+    /// Number of io-processes for collective access; `0` means every rank
+    /// is an IOP (the common single-node configuration in the paper).
+    pub cb_nodes: usize,
+    /// Independent access strategy for non-contiguous fileviews.
+    pub sieving: SievingMode,
+    /// For collective writes: detect fully-covered windows and skip the
+    /// read-modify-write (ROMIO's list-merge optimization; the listless
+    /// engine uses the mergeview instead).
+    pub detect_dense_writes: bool,
+}
+
+impl Hints {
+    /// Defaults with the given engine.
+    pub fn with_engine(engine: Engine) -> Hints {
+        Hints {
+            engine,
+            ind_buffer_size: 512 * 1024,
+            cb_buffer_size: 4 * 1024 * 1024,
+            cb_nodes: 0,
+            sieving: SievingMode::Sieve,
+            detect_dense_writes: true,
+        }
+    }
+
+    /// ROMIO-style list-based engine with default buffers.
+    pub fn list_based() -> Hints {
+        Hints::with_engine(Engine::ListBased)
+    }
+
+    /// Listless engine with default buffers.
+    pub fn listless() -> Hints {
+        Hints::with_engine(Engine::Listless)
+    }
+
+    /// Override the independent sieving buffer size (builder style).
+    pub fn ind_buffer(mut self, bytes: usize) -> Hints {
+        self.ind_buffer_size = bytes.max(1);
+        self
+    }
+
+    /// Override the collective buffer size (builder style).
+    pub fn cb_buffer(mut self, bytes: usize) -> Hints {
+        self.cb_buffer_size = bytes.max(1);
+        self
+    }
+
+    /// Override the number of io-processes (builder style).
+    pub fn io_nodes(mut self, n: usize) -> Hints {
+        self.cb_nodes = n;
+        self
+    }
+
+    /// Override the independent access strategy (builder style).
+    pub fn sieving_mode(mut self, mode: SievingMode) -> Hints {
+        self.sieving = mode;
+        self
+    }
+
+    /// Resolve `cb_nodes` against the world size.
+    pub fn effective_io_nodes(&self, world: usize) -> usize {
+        if self.cb_nodes == 0 {
+            world
+        } else {
+            self.cb_nodes.min(world).max(1)
+        }
+    }
+}
+
+impl Default for Hints {
+    fn default() -> Hints {
+        Hints::listless()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let h = Hints::default();
+        assert_eq!(h.engine, Engine::Listless);
+        assert_eq!(h.ind_buffer_size, 512 * 1024);
+        assert_eq!(h.cb_buffer_size, 4 * 1024 * 1024);
+        assert_eq!(h.effective_io_nodes(8), 8);
+    }
+
+    #[test]
+    fn builders() {
+        let h = Hints::list_based().ind_buffer(1024).cb_buffer(2048).io_nodes(2);
+        assert_eq!(h.engine, Engine::ListBased);
+        assert_eq!(h.ind_buffer_size, 1024);
+        assert_eq!(h.cb_buffer_size, 2048);
+        assert_eq!(h.effective_io_nodes(8), 2);
+        assert_eq!(h.effective_io_nodes(1), 1);
+    }
+
+    #[test]
+    fn zero_buffer_clamped() {
+        let h = Hints::listless().ind_buffer(0);
+        assert_eq!(h.ind_buffer_size, 1);
+    }
+}
+
+impl Hints {
+    /// Parse ROMIO-style `MPI_Info` key/value pairs into hints, starting
+    /// from `self`. Unknown keys are ignored (the `MPI_Info` contract);
+    /// malformed values return an error string.
+    ///
+    /// Recognized keys: `engine` (`list_based`/`listless`),
+    /// `ind_rd_buffer_size`, `ind_wr_buffer_size` (both map to the single
+    /// independent buffer knob; the larger wins), `cb_buffer_size`,
+    /// `cb_nodes`, `romio_ds_write` (`enable`/`disable`/`automatic` →
+    /// sieve/direct/auto), `detect_dense_writes` (`true`/`false`).
+    ///
+    /// ```
+    /// use lio_core::{Engine, Hints, SievingMode};
+    /// let h = Hints::default()
+    ///     .apply_info([("cb_buffer_size", "1048576"), ("romio_ds_write", "automatic")])
+    ///     .unwrap();
+    /// assert_eq!(h.cb_buffer_size, 1048576);
+    /// assert_eq!(h.sieving, SievingMode::Auto);
+    /// ```
+    pub fn apply_info<'a>(
+        mut self,
+        pairs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> std::result::Result<Hints, String> {
+        for (k, v) in pairs {
+            match k {
+                "engine" => {
+                    self.engine = match v {
+                        "list_based" | "list-based" => Engine::ListBased,
+                        "listless" => Engine::Listless,
+                        _ => return Err(format!("unknown engine {v:?}")),
+                    }
+                }
+                "ind_rd_buffer_size" | "ind_wr_buffer_size" => {
+                    let n: usize = v.parse().map_err(|_| format!("bad size {v:?} for {k}"))?;
+                    self.ind_buffer_size = self.ind_buffer_size.max(n.max(1));
+                }
+                "cb_buffer_size" => {
+                    self.cb_buffer_size = v
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad size {v:?} for {k}"))?
+                        .max(1);
+                }
+                "cb_nodes" => {
+                    self.cb_nodes =
+                        v.parse().map_err(|_| format!("bad count {v:?} for {k}"))?;
+                }
+                "romio_ds_write" | "romio_ds_read" => {
+                    self.sieving = match v {
+                        "enable" => SievingMode::Sieve,
+                        "disable" => SievingMode::Direct,
+                        "automatic" => SievingMode::Auto,
+                        _ => return Err(format!("unknown sieving setting {v:?}")),
+                    }
+                }
+                "detect_dense_writes" => {
+                    self.detect_dense_writes = match v {
+                        "true" => true,
+                        "false" => false,
+                        _ => return Err(format!("bad bool {v:?} for {k}")),
+                    }
+                }
+                _ => {} // unknown keys are ignored, like MPI_Info
+            }
+        }
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod info_tests {
+    use super::*;
+
+    #[test]
+    fn info_pairs_parse() {
+        let h = Hints::list_based()
+            .apply_info([
+                ("engine", "listless"),
+                ("cb_buffer_size", "65536"),
+                ("cb_nodes", "2"),
+                ("ind_rd_buffer_size", "8192"),
+                ("ind_wr_buffer_size", "4096"),
+                ("romio_ds_write", "disable"),
+                ("detect_dense_writes", "false"),
+                ("totally_unknown_key", "whatever"),
+            ])
+            .unwrap();
+        assert_eq!(h.engine, Engine::Listless);
+        assert_eq!(h.cb_buffer_size, 65536);
+        assert_eq!(h.cb_nodes, 2);
+        assert_eq!(h.ind_buffer_size, 512 * 1024); // max of default and given
+        assert_eq!(h.sieving, SievingMode::Direct);
+        assert!(!h.detect_dense_writes);
+    }
+
+    #[test]
+    fn info_errors_on_malformed_values() {
+        assert!(Hints::default().apply_info([("engine", "magic")]).is_err());
+        assert!(Hints::default()
+            .apply_info([("cb_buffer_size", "lots")])
+            .is_err());
+        assert!(Hints::default()
+            .apply_info([("detect_dense_writes", "maybe")])
+            .is_err());
+    }
+
+    #[test]
+    fn small_ind_buffer_respects_existing() {
+        let h = Hints::default()
+            .ind_buffer(64)
+            .apply_info([("ind_rd_buffer_size", "128")])
+            .unwrap();
+        assert_eq!(h.ind_buffer_size, 128);
+    }
+}

@@ -1,0 +1,769 @@
+//! Collective file access: the two-phase method.
+//!
+//! Collective reads/writes are performed by **io-processes** (IOPs) that
+//! touch the file, on behalf of all **access-processes** (APs) — paper
+//! Section 2.3. The file range touched by the collective call is split
+//! evenly among the IOPs (*file domains*); each AP ships the part of its
+//! access falling into each IOP's domain; each IOP loops over its domain
+//! in `cb_buffer_size` windows, sieving data in or out of a window buffer.
+//!
+//! The two engines share this skeleton and differ in exactly the ways the
+//! paper describes:
+//!
+//! * **list-based**: every AP builds an **ol-list of absolute
+//!   `⟨offset, length⟩` tuples covering each IOP's domain** — size
+//!   `O(Saccess/Sextent · Nblock)`, i.e. proportional to the access, not
+//!   the filetype — and sends it with the data (16 bytes of metadata per
+//!   tuple). For writes, the IOP merges all received lists
+//!   (`O(Σ_p Nblock(p))`) to detect fully-covered windows.
+//! * **listless**: fileview caching means the IOP already has every AP's
+//!   `(disp, filetype)` (exchanged compactly at `set_view`), so messages
+//!   carry *only data*; placement uses flattening-on-the-fly, and the
+//!   covered-window test is one `O(depth)` mergeview evaluation.
+//!
+//! One deliberate simplification relative to ROMIO: data for a whole file
+//! domain is exchanged in one message per (AP, IOP) pair instead of being
+//! pipelined window by window. This preserves communication volume and
+//! all list-handling costs (the quantities the paper measures) at the
+//! price of a larger transient memory footprint.
+
+use lio_datatype::{bytes_below_tiled, serialize, Datatype, Field};
+use lio_pfs::StorageFile;
+use lio_mpi::Comm;
+
+use crate::error::{IoError, Result};
+use crate::hints::{Engine, Hints};
+use crate::packer::MemPacker;
+use crate::sieve::read_window;
+use crate::view::{FfNav, FileView, ViewNav};
+
+/// Tag for the ol-list message (list-based engine only).
+const TAG_TP_LIST: u64 = 101;
+/// Tag for AP→IOP write data / access headers.
+const TAG_TP_DATA: u64 = 102;
+/// Tag for IOP→AP read data.
+const TAG_TP_RDATA: u64 = 103;
+
+/// Collective state established at `set_view` time.
+pub(crate) struct CollState {
+    /// Listless: every rank's cached fileview (fileview caching).
+    pub remote_navs: Option<Vec<FfNav>>,
+    /// Listless: the mergeview, when all ranks share disp and extent.
+    pub merge: Option<MergeView>,
+}
+
+/// The overlay of all ranks' filetypes (Section 3.2.3): a struct type
+/// whose coverage test answers "does this collective write cover the
+/// window completely?" in `O(depth)`.
+pub(crate) struct MergeView {
+    dtype: Datatype,
+    disp: u64,
+}
+
+impl MergeView {
+    /// Whether file range `[lo, hi)` is fully covered by the union of all
+    /// fileviews.
+    pub fn covered(&self, lo: u64, hi: u64) -> bool {
+        if hi <= lo {
+            return true;
+        }
+        if lo < self.disp {
+            return false;
+        }
+        let a = (lo - self.disp) as i64;
+        let b = (hi - self.disp) as i64;
+        bytes_below_tiled(&self.dtype, b) - bytes_below_tiled(&self.dtype, a) == hi - lo
+    }
+}
+
+/// Establish the collective state for a new fileview. Collective: every
+/// rank calls this with its own view.
+pub(crate) fn establish_view(comm: &Comm, view: &FileView, engine: Engine) -> Result<CollState> {
+    match engine {
+        Engine::ListBased => {
+            // ROMIO exchanges nothing at view time; ol-lists travel with
+            // every collective access instead.
+            Ok(CollState {
+                remote_navs: None,
+                merge: None,
+            })
+        }
+        Engine::Listless => {
+            // fileview caching: one compact exchange per set_view
+            let mut msg = Vec::with_capacity(64);
+            msg.extend_from_slice(&view.disp.to_le_bytes());
+            serialize::encode_into(&view.filetype, &mut msg);
+            let all = comm.allgather(msg);
+            let mut views = Vec::with_capacity(all.len());
+            for buf in &all {
+                let disp = u64::from_le_bytes(buf[0..8].try_into().expect("disp"));
+                let ftype = serialize::decode(&buf[8..])?;
+                views.push(FileView {
+                    disp,
+                    etype: Datatype::byte(),
+                    filetype: ftype,
+                });
+            }
+            let merge = build_mergeview(&views)?;
+            let remote_navs = Some(views.into_iter().map(FfNav::new).collect());
+            Ok(CollState { remote_navs, merge })
+        }
+    }
+}
+
+/// Build the mergeview when all ranks share the displacement and filetype
+/// extent (the paper's stated applicability condition).
+fn build_mergeview(views: &[FileView]) -> Result<Option<MergeView>> {
+    let disp = views[0].disp;
+    let ext = views[0].filetype.extent();
+    if !views
+        .iter()
+        .all(|v| v.disp == disp && v.filetype.extent() == ext)
+    {
+        return Ok(None);
+    }
+    let fields: Vec<Field> = views
+        .iter()
+        .map(|v| Field {
+            disp: 0,
+            count: 1,
+            child: v.filetype.clone(),
+        })
+        .collect();
+    let merged = Datatype::struct_type(fields)?;
+    let merged = Datatype::resized(&merged, 0, ext)?;
+    // tiled counting requires instance-confined data
+    if merged.data_ub() - merged.data_lb() > merged.extent() as i64 || merged.data_lb() < 0 {
+        return Ok(None);
+    }
+    Ok(Some(MergeView {
+        dtype: merged,
+        disp,
+    }))
+}
+
+/// This rank's absolute access range for `total` stream bytes from
+/// `stream_start`; `None` when empty.
+fn access_range(nav: &ViewNav, stream_start: u64, total: u64) -> Option<(u64, u64)> {
+    if total == 0 {
+        return None;
+    }
+    let lo = nav.stream_to_abs(stream_start);
+    let hi = nav.stream_to_abs(stream_start + total - 1) + 1;
+    Some((lo, hi))
+}
+
+/// Per-IOP file domains plus each rank's access range.
+type Domains = (Vec<(u64, u64)>, Vec<Option<(u64, u64)>>);
+
+/// Exchange access ranges and compute the per-IOP file domains.
+fn file_domains(comm: &Comm, range: Option<(u64, u64)>, hints: &Hints) -> Domains {
+    let mut msg = [0u8; 16];
+    let (lo, hi) = range.unwrap_or((u64::MAX, 0));
+    msg[0..8].copy_from_slice(&lo.to_le_bytes());
+    msg[8..16].copy_from_slice(&hi.to_le_bytes());
+    let all = comm.allgather(msg.to_vec());
+    let ranges: Vec<Option<(u64, u64)>> = all
+        .iter()
+        .map(|b| {
+            let lo = u64::from_le_bytes(b[0..8].try_into().expect("lo"));
+            let hi = u64::from_le_bytes(b[8..16].try_into().expect("hi"));
+            (hi > lo && lo != u64::MAX).then_some((lo, hi))
+        })
+        .collect();
+    let min_st = ranges.iter().flatten().map(|r| r.0).min();
+    let max_end = ranges.iter().flatten().map(|r| r.1).max();
+    let naggr = hints.effective_io_nodes(comm.size());
+    let mut domains = vec![(0u64, 0u64); naggr];
+    if let (Some(lo), Some(hi)) = (min_st, max_end) {
+        let span = hi - lo;
+        let chunk = span.div_ceil(naggr as u64).max(1);
+        for (i, d) in domains.iter_mut().enumerate() {
+            let a = lo + (i as u64 * chunk).min(span);
+            let b = lo + ((i as u64 + 1) * chunk).min(span);
+            *d = (a, b);
+        }
+    }
+    (domains, ranges)
+}
+
+/// The intersection of this rank's stream interval with an IOP domain,
+/// expressed in stream positions.
+fn stream_intersection(
+    nav: &ViewNav,
+    stream_start: u64,
+    stream_end: u64,
+    dom: (u64, u64),
+) -> (u64, u64) {
+    let a = nav.abs_to_stream(dom.0).clamp(stream_start, stream_end);
+    let b = nav.abs_to_stream(dom.1).clamp(stream_start, stream_end);
+    (a, b)
+}
+
+/// Serialize this rank's access runs within `dom` as an absolute ol-list
+/// (the list the list-based AP must build and ship for every collective
+/// access).
+fn build_access_list(nav: &ViewNav, s_lo: u64, s_hi: u64, dom: (u64, u64)) -> Vec<u8> {
+    let mut out = Vec::new();
+    if s_hi <= s_lo {
+        return out;
+    }
+    let ViewNav::List(list_nav) = nav else {
+        unreachable!("access lists are a list-based concept");
+    };
+    let mut remaining = s_hi - s_lo;
+    for run in list_nav.runs_from(s_lo) {
+        if remaining == 0 {
+            break;
+        }
+        let take = run.len.min(remaining);
+        let abs = run.disp as u64;
+        debug_assert!(abs >= dom.0 && abs + take <= dom.1, "run escapes the domain");
+        out.extend_from_slice(&abs.to_le_bytes());
+        out.extend_from_slice(&take.to_le_bytes());
+        remaining -= take;
+    }
+    out
+}
+
+/// An ol-list received from an AP, with its data, consumed window by
+/// window through a cursor (the IOP-side list walking of Section 2.3).
+struct RecvList {
+    /// Absolute `(offset, len)` pairs.
+    segs: Vec<(u64, u64)>,
+    data: Vec<u8>,
+    seg_i: usize,
+    seg_off: u64,
+    data_pos: usize,
+}
+
+impl RecvList {
+    fn parse(list_bytes: &[u8], data: Vec<u8>) -> Result<RecvList> {
+        if !list_bytes.len().is_multiple_of(16) {
+            return Err(IoError::Usage("malformed access list".into()));
+        }
+        let segs: Vec<(u64, u64)> = list_bytes
+            .chunks_exact(16)
+            .map(|c| {
+                (
+                    u64::from_le_bytes(c[0..8].try_into().expect("offset")),
+                    u64::from_le_bytes(c[8..16].try_into().expect("len")),
+                )
+            })
+            .collect();
+        Ok(RecvList {
+            segs,
+            data,
+            seg_i: 0,
+            seg_off: 0,
+            data_pos: 0,
+        })
+    }
+
+    /// Copy this AP's bytes falling inside `[win_start, win_end)` from its
+    /// data buffer into the window.
+    fn place_into(&mut self, fb: &mut [u8], win_start: u64, win_end: u64) {
+        while self.seg_i < self.segs.len() {
+            let (off, len) = self.segs[self.seg_i];
+            let cur = off + self.seg_off;
+            if cur >= win_end {
+                break;
+            }
+            debug_assert!(cur >= win_start, "cursor fell behind the window");
+            let avail = len - self.seg_off;
+            let take = avail.min(win_end - cur);
+            let o = (cur - win_start) as usize;
+            fb[o..o + take as usize]
+                .copy_from_slice(&self.data[self.data_pos..self.data_pos + take as usize]);
+            self.data_pos += take as usize;
+            if take == avail {
+                self.seg_i += 1;
+                self.seg_off = 0;
+            } else {
+                self.seg_off += take;
+                break;
+            }
+        }
+    }
+
+    /// Copy this AP's bytes falling inside `[win_start, win_end)` out of
+    /// the window, appending to `out`.
+    fn extract_from(&mut self, fb: &[u8], win_start: u64, win_end: u64, out: &mut Vec<u8>) {
+        while self.seg_i < self.segs.len() {
+            let (off, len) = self.segs[self.seg_i];
+            let cur = off + self.seg_off;
+            if cur >= win_end {
+                break;
+            }
+            debug_assert!(cur >= win_start);
+            let avail = len - self.seg_off;
+            let take = avail.min(win_end - cur);
+            let o = (cur - win_start) as usize;
+            out.extend_from_slice(&fb[o..o + take as usize]);
+            if take == avail {
+                self.seg_i += 1;
+                self.seg_off = 0;
+            } else {
+                self.seg_off += take;
+                break;
+            }
+        }
+    }
+
+    /// First uncopied absolute offset, if any.
+    fn next_offset(&self) -> Option<u64> {
+        self.segs.get(self.seg_i).map(|(o, _)| o + self.seg_off)
+    }
+
+    /// Last absolute offset + 1 across all segments.
+    fn end_offset(&self) -> Option<u64> {
+        self.segs.last().map(|(o, l)| o + l)
+    }
+}
+
+/// Cursor over a merged ol-list for covered-window tests (the list-based
+/// collective-write optimization).
+struct Coverage {
+    segs: Vec<(u64, u64)>,
+    i: usize,
+}
+
+impl Coverage {
+    /// Merge per-AP lists (`O(Σ_p N(p))` as the paper notes).
+    fn merge(lists: &[&RecvList]) -> Coverage {
+        let mut all: Vec<(u64, u64)> = Vec::new();
+        let mut cursors = vec![0usize; lists.len()];
+        loop {
+            let mut best: Option<(usize, u64)> = None;
+            for (li, l) in lists.iter().enumerate() {
+                if let Some(&(off, _)) = l.segs.get(cursors[li]) {
+                    if best.is_none_or(|(_, o)| off < o) {
+                        best = Some((li, off));
+                    }
+                }
+            }
+            let Some((li, _)) = best else { break };
+            let (off, len) = lists[li].segs[cursors[li]];
+            cursors[li] += 1;
+            if let Some(last) = all.last_mut() {
+                if off <= last.0 + last.1 {
+                    let end = (off + len).max(last.0 + last.1);
+                    last.1 = end - last.0;
+                    continue;
+                }
+            }
+            all.push((off, len));
+        }
+        Coverage { segs: all, i: 0 }
+    }
+
+    /// Whether `[lo, hi)` is fully inside one merged segment. Windows are
+    /// probed in increasing order, so a cursor suffices.
+    fn covered(&mut self, lo: u64, hi: u64) -> bool {
+        // skip segments that end at or before the window: they can never
+        // cover this or any later window
+        while self.i < self.segs.len() && self.segs[self.i].0 + self.segs[self.i].1 <= lo {
+            self.i += 1;
+        }
+        match self.segs.get(self.i) {
+            Some(&(o, l)) => o <= lo && o + l >= hi,
+            None => false,
+        }
+    }
+}
+
+/// Listless placement bookkeeping for one AP at one IOP.
+struct FfPlacement<'a> {
+    nav: &'a FfNav,
+    data: Vec<u8>,
+    s_lo: u64,
+    s_hi: u64,
+}
+
+/// Collective write. Every rank calls this; returns bytes written by this
+/// rank's access.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn write_at_all(
+    storage: &dyn StorageFile,
+    comm: &Comm,
+    state: &CollState,
+    nav: &ViewNav,
+    packer: &MemPacker,
+    user: &[u8],
+    stream_start: u64,
+    total: u64,
+    hints: &Hints,
+) -> Result<u64> {
+    let engine = match nav {
+        ViewNav::List(_) => Engine::ListBased,
+        ViewNav::Ff(_) => Engine::Listless,
+    };
+    let my_range = access_range(nav, stream_start, total);
+    let (domains, _ranges) = file_domains(comm, my_range, hints);
+    let stream_end = stream_start + total;
+    let naggr = domains.len();
+    let me = comm.rank();
+
+    // ----- AP phase: ship lists (list-based) and data ------------------
+    for (i, &dom) in domains.iter().enumerate() {
+        if dom.1 <= dom.0 {
+            continue;
+        }
+        let (s_lo, s_hi) = if my_range.is_some() {
+            stream_intersection(nav, stream_start, stream_end, dom)
+        } else {
+            (stream_start, stream_start)
+        };
+        let n = s_hi - s_lo;
+        if engine == Engine::ListBased {
+            let list = build_access_list(nav, s_lo, s_hi, dom);
+            comm.send_vec(i, TAG_TP_LIST, list);
+        }
+        let mut msg = Vec::with_capacity(16 + n as usize);
+        msg.extend_from_slice(&s_lo.to_le_bytes());
+        msg.extend_from_slice(&s_hi.to_le_bytes());
+        let base = msg.len();
+        msg.resize(base + n as usize, 0);
+        if n > 0 {
+            let got = packer.pack(user, s_lo - stream_start, &mut msg[base..]);
+            debug_assert_eq!(got as u64, n);
+        }
+        comm.send_vec(i, TAG_TP_DATA, msg);
+    }
+
+    // ----- IOP phase ----------------------------------------------------
+    if me < naggr && domains[me].1 > domains[me].0 {
+        let dom = domains[me];
+        match engine {
+            Engine::ListBased => {
+                let mut recv: Vec<RecvList> = Vec::with_capacity(comm.size());
+                for p in 0..comm.size() {
+                    let list_bytes = comm.recv(p, TAG_TP_LIST);
+                    let msg = comm.recv(p, TAG_TP_DATA);
+                    recv.push(RecvList::parse(&list_bytes, msg[16..].to_vec())?);
+                }
+                iop_write_listbased(storage, dom, &mut recv, hints)?;
+            }
+            Engine::Listless => {
+                let navs = state
+                    .remote_navs
+                    .as_ref()
+                    .expect("listless collective requires cached fileviews");
+                let mut placements: Vec<FfPlacement> = Vec::with_capacity(comm.size());
+                for (p, nav_p) in navs.iter().enumerate() {
+                    let msg = comm.recv(p, TAG_TP_DATA);
+                    let s_lo = u64::from_le_bytes(msg[0..8].try_into().expect("s_lo"));
+                    let s_hi = u64::from_le_bytes(msg[8..16].try_into().expect("s_hi"));
+                    placements.push(FfPlacement {
+                        nav: nav_p,
+                        data: msg[16..].to_vec(),
+                        s_lo,
+                        s_hi,
+                    });
+                }
+                iop_write_listless(storage, dom, &mut placements, state, hints)?;
+            }
+        }
+    }
+
+    comm.barrier();
+    Ok(total)
+}
+
+/// IOP write loop, list-based placement.
+fn iop_write_listbased(
+    storage: &dyn StorageFile,
+    dom: (u64, u64),
+    recv: &mut [RecvList],
+    hints: &Hints,
+) -> Result<()> {
+    // clip the domain to where data actually lands
+    let lo = recv.iter().filter_map(|r| r.next_offset()).min();
+    let hi = recv.iter().filter_map(|r| r.end_offset()).max();
+    let (Some(lo), Some(hi)) = (lo, hi) else {
+        return Ok(());
+    };
+    let lo = lo.max(dom.0);
+    let hi = hi.min(dom.1);
+
+    // the merge of all lists, for the covered-window optimization
+    let mut coverage = hints.detect_dense_writes.then(|| {
+        let refs: Vec<&RecvList> = recv.iter().collect();
+        Coverage::merge(&refs)
+    });
+
+    let cb = hints.cb_buffer_size as u64;
+    let mut filebuf = vec![0u8; hints.cb_buffer_size];
+    let mut win = lo;
+    while win < hi {
+        let win_end = (win + cb).min(hi);
+        let fb = &mut filebuf[..(win_end - win) as usize];
+        let has_data = recv
+            .iter()
+            .any(|r| r.next_offset().is_some_and(|o| o < win_end));
+        if has_data {
+            let dense = coverage
+                .as_mut()
+                .is_some_and(|c| c.covered(win, win_end));
+            if !dense {
+                read_window(storage, win, fb)?;
+            }
+            for r in recv.iter_mut() {
+                r.place_into(fb, win, win_end);
+            }
+            storage.write_at(win, fb)?;
+        }
+        win = win_end;
+    }
+    Ok(())
+}
+
+/// IOP write loop, listless placement via cached fileviews.
+fn iop_write_listless(
+    storage: &dyn StorageFile,
+    dom: (u64, u64),
+    placements: &mut [FfPlacement],
+    state: &CollState,
+    hints: &Hints,
+) -> Result<()> {
+    // clip the domain to where data actually lands
+    let lo = placements
+        .iter()
+        .filter(|p| p.s_hi > p.s_lo)
+        .map(|p| p.nav.stream_to_abs(p.s_lo))
+        .min();
+    let hi = placements
+        .iter()
+        .filter(|p| p.s_hi > p.s_lo)
+        .map(|p| p.nav.stream_to_abs(p.s_hi - 1) + 1)
+        .max();
+    let (Some(lo), Some(hi)) = (lo, hi) else {
+        return Ok(());
+    };
+    let lo = lo.max(dom.0);
+    let hi = hi.min(dom.1);
+
+    let cb = hints.cb_buffer_size as u64;
+    let mut filebuf = vec![0u8; hints.cb_buffer_size];
+    // per-AP stream cursor (how far each AP's data has been consumed)
+    let mut cursors: Vec<u64> = placements.iter().map(|p| p.s_lo).collect();
+    let mut win = lo;
+    while win < hi {
+        let win_end = (win + cb).min(hi);
+        let fb = &mut filebuf[..(win_end - win) as usize];
+        // per-AP byte counts in this window (cheap: O(depth) each)
+        let mut any = false;
+        let mut takes = vec![0u64; placements.len()];
+        for (k, p) in placements.iter().enumerate() {
+            if p.s_hi <= p.s_lo || cursors[k] >= p.s_hi {
+                continue;
+            }
+            let b = p.nav.abs_to_stream(win_end).min(p.s_hi);
+            if b > cursors[k] {
+                takes[k] = b - cursors[k];
+                any = true;
+            }
+        }
+        if any {
+            let dense = hints.detect_dense_writes
+                && state
+                    .merge
+                    .as_ref()
+                    .is_some_and(|m| m.covered(win, win_end));
+            if !dense {
+                read_window(storage, win, fb)?;
+            }
+            for (k, p) in placements.iter().enumerate() {
+                if takes[k] == 0 {
+                    continue;
+                }
+                let a = cursors[k];
+                let off = (a - p.s_lo) as usize;
+                let placed = p.nav.place_window(&p.data[off..off + takes[k] as usize], a, fb, win);
+                debug_assert_eq!(placed as u64, takes[k]);
+                cursors[k] += takes[k];
+            }
+            storage.write_at(win, fb)?;
+        }
+        win = win_end;
+    }
+    Ok(())
+}
+
+/// Collective read. Every rank calls this; fills `user` and returns bytes
+/// read by this rank's access.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn read_at_all(
+    storage: &dyn StorageFile,
+    comm: &Comm,
+    state: &CollState,
+    nav: &ViewNav,
+    packer: &MemPacker,
+    user: &mut [u8],
+    stream_start: u64,
+    total: u64,
+    hints: &Hints,
+) -> Result<u64> {
+    let engine = match nav {
+        ViewNav::List(_) => Engine::ListBased,
+        ViewNav::Ff(_) => Engine::Listless,
+    };
+    let my_range = access_range(nav, stream_start, total);
+    let (domains, _ranges) = file_domains(comm, my_range, hints);
+    let stream_end = stream_start + total;
+    let naggr = domains.len();
+    let me = comm.rank();
+
+    // ----- AP phase: announce (and, list-based, ship the lists) --------
+    let mut my_intersections = vec![(stream_start, stream_start); naggr];
+    for (i, &dom) in domains.iter().enumerate() {
+        if dom.1 <= dom.0 {
+            continue;
+        }
+        let (s_lo, s_hi) = if my_range.is_some() {
+            stream_intersection(nav, stream_start, stream_end, dom)
+        } else {
+            (stream_start, stream_start)
+        };
+        my_intersections[i] = (s_lo, s_hi);
+        if engine == Engine::ListBased {
+            let list = build_access_list(nav, s_lo, s_hi, dom);
+            comm.send_vec(i, TAG_TP_LIST, list);
+        }
+        let mut msg = Vec::with_capacity(16);
+        msg.extend_from_slice(&s_lo.to_le_bytes());
+        msg.extend_from_slice(&s_hi.to_le_bytes());
+        comm.send_vec(i, TAG_TP_DATA, msg);
+    }
+
+    // ----- IOP phase: read windows and ship each AP its bytes ----------
+    if me < naggr && domains[me].1 > domains[me].0 {
+        let dom = domains[me];
+        match engine {
+            Engine::ListBased => {
+                let mut recv: Vec<RecvList> = Vec::with_capacity(comm.size());
+                let mut outs: Vec<Vec<u8>> = Vec::with_capacity(comm.size());
+                for p in 0..comm.size() {
+                    let list_bytes = comm.recv(p, TAG_TP_LIST);
+                    let _hdr = comm.recv(p, TAG_TP_DATA);
+                    recv.push(RecvList::parse(&list_bytes, Vec::new())?);
+                    outs.push(Vec::new());
+                }
+                let lo = recv.iter().filter_map(|r| r.next_offset()).min();
+                let hi = recv.iter().filter_map(|r| r.end_offset()).max();
+                if let (Some(lo), Some(hi)) = (lo, hi) {
+                    let lo = lo.max(dom.0);
+                    let hi = hi.min(dom.1);
+                    let cb = hints.cb_buffer_size as u64;
+                    let mut filebuf = vec![0u8; hints.cb_buffer_size];
+                    let mut win = lo;
+                    while win < hi {
+                        let win_end = (win + cb).min(hi);
+                        let fb = &mut filebuf[..(win_end - win) as usize];
+                        let wanted = recv
+                            .iter()
+                            .any(|r| r.next_offset().is_some_and(|o| o < win_end));
+                        if wanted {
+                            read_window(storage, win, fb)?;
+                            for (r, out) in recv.iter_mut().zip(outs.iter_mut()) {
+                                r.extract_from(fb, win, win_end, out);
+                            }
+                        }
+                        win = win_end;
+                    }
+                }
+                for (p, out) in outs.into_iter().enumerate() {
+                    comm.send_vec(p, TAG_TP_RDATA, out);
+                }
+            }
+            Engine::Listless => {
+                let navs = state
+                    .remote_navs
+                    .as_ref()
+                    .expect("listless collective requires cached fileviews");
+                let mut spans: Vec<(u64, u64)> = Vec::with_capacity(comm.size());
+                for p in 0..comm.size() {
+                    let msg = comm.recv(p, TAG_TP_DATA);
+                    let s_lo = u64::from_le_bytes(msg[0..8].try_into().expect("s_lo"));
+                    let s_hi = u64::from_le_bytes(msg[8..16].try_into().expect("s_hi"));
+                    spans.push((s_lo, s_hi));
+                }
+                let lo = spans
+                    .iter()
+                    .zip(navs)
+                    .filter(|(s, _)| s.1 > s.0)
+                    .map(|(s, n)| n.stream_to_abs(s.0))
+                    .min();
+                let hi = spans
+                    .iter()
+                    .zip(navs)
+                    .filter(|(s, _)| s.1 > s.0)
+                    .map(|(s, n)| n.stream_to_abs(s.1 - 1) + 1)
+                    .max();
+                let mut outs: Vec<Vec<u8>> =
+                    spans.iter().map(|s| Vec::with_capacity((s.1 - s.0) as usize)).collect();
+                if let (Some(lo), Some(hi)) = (lo, hi) {
+                    let lo = lo.max(dom.0);
+                    let hi = hi.min(dom.1);
+                    let cb = hints.cb_buffer_size as u64;
+                    let mut filebuf = vec![0u8; hints.cb_buffer_size];
+                    let mut cursors: Vec<u64> = spans.iter().map(|s| s.0).collect();
+                    let mut win = lo;
+                    while win < hi {
+                        let win_end = (win + cb).min(hi);
+                        let fb = &mut filebuf[..(win_end - win) as usize];
+                        let mut takes = vec![0u64; spans.len()];
+                        let mut any = false;
+                        for (k, nav_p) in navs.iter().enumerate() {
+                            if spans[k].1 <= spans[k].0 || cursors[k] >= spans[k].1 {
+                                continue;
+                            }
+                            let b = nav_p.abs_to_stream(win_end).min(spans[k].1);
+                            if b > cursors[k] {
+                                takes[k] = b - cursors[k];
+                                any = true;
+                            }
+                        }
+                        if any {
+                            read_window(storage, win, fb)?;
+                            for (k, nav_p) in navs.iter().enumerate() {
+                                if takes[k] == 0 {
+                                    continue;
+                                }
+                                let start = outs[k].len();
+                                outs[k].resize(start + takes[k] as usize, 0);
+                                let got = nav_p.extract_window(
+                                    fb,
+                                    win,
+                                    cursors[k],
+                                    &mut outs[k][start..],
+                                );
+                                debug_assert_eq!(got as u64, takes[k]);
+                                cursors[k] += takes[k];
+                            }
+                        }
+                        win = win_end;
+                    }
+                }
+                for (p, out) in outs.into_iter().enumerate() {
+                    comm.send_vec(p, TAG_TP_RDATA, out);
+                }
+            }
+        }
+    }
+
+    // ----- AP phase 2: receive and unpack -------------------------------
+    for (i, &dom) in domains.iter().enumerate() {
+        if dom.1 <= dom.0 {
+            continue;
+        }
+        let data = comm.recv(i, TAG_TP_RDATA);
+        let (s_lo, s_hi) = my_intersections[i];
+        debug_assert_eq!(data.len() as u64, s_hi - s_lo);
+        if s_hi > s_lo {
+            let put = packer.unpack(&data, user, s_lo - stream_start);
+            debug_assert_eq!(put, data.len());
+        }
+    }
+    Ok(total)
+}

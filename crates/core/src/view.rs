@@ -1,0 +1,599 @@
+//! Fileviews and the two navigation/copy engines that interpret them.
+//!
+//! A [`FileView`] is the MPI-IO triple `(disp, etype, filetype)`: the
+//! filetype tiles the file from byte `disp` onwards, and the bytes covered
+//! by its data form the view's *stream* — the sequence of data bytes a
+//! process reads or writes. Offsets passed to the access routines are in
+//! etype units and may land anywhere inside the filetype, which is why
+//! navigation (stream position ↔ absolute file offset) is needed at all.
+//!
+//! The crate-internal `ViewNav` encapsulates the part the paper is
+//! about: *how* that navigation and the associated copying is done.
+//!
+//! * `ListNav` — the list-based baseline: an explicitly flattened
+//!   ol-list, searched **linearly from the start** on every navigation
+//!   (the `O(Nblock/2)`-per-access cost of Section 2.2).
+//! * `FfNav` — listless: flattening-on-the-fly navigation in
+//!   `O(depth · log k)` and lazily-seeked run iteration (Section 3).
+
+use std::sync::Arc;
+
+use lio_datatype::typemap::Run;
+use lio_datatype::{
+    bytes_below_tiled, ff_offset, strided_pack, strided_unpack, Datatype, FlatIter, OlList,
+    StridedSpec,
+};
+
+use crate::error::{IoError, Result};
+
+/// An MPI-IO fileview: displacement, elementary type, filetype.
+#[derive(Debug, Clone)]
+pub struct FileView {
+    /// Absolute byte displacement where the tiled filetype begins
+    /// (skips headers etc.).
+    pub disp: u64,
+    /// The elementary type; access offsets count in units of its size.
+    pub etype: Datatype,
+    /// The filetype tiling the file from `disp`.
+    pub filetype: Datatype,
+}
+
+impl FileView {
+    /// Validate and build a fileview. Enforces the MPI-IO restrictions:
+    /// monotone non-negative filetype displacements, etype dividing the
+    /// filetype size.
+    pub fn new(disp: u64, etype: Datatype, filetype: Datatype) -> Result<FileView> {
+        filetype.valid_as_filetype()?;
+        if etype.size() == 0 {
+            return Err(IoError::Usage("etype must have nonzero size".into()));
+        }
+        if filetype.size() == 0 {
+            return Err(IoError::Usage("filetype must have nonzero size".into()));
+        }
+        if !filetype.size().is_multiple_of(etype.size()) {
+            return Err(IoError::Usage(format!(
+                "filetype size {} is not a multiple of etype size {}",
+                filetype.size(),
+                etype.size()
+            )));
+        }
+        Ok(FileView {
+            disp,
+            etype,
+            filetype,
+        })
+    }
+
+    /// The default "flat" view: etype and filetype are bytes.
+    pub fn bytes() -> FileView {
+        FileView {
+            disp: 0,
+            etype: Datatype::byte(),
+            filetype: Datatype::byte(),
+        }
+    }
+
+    /// Whether the view exposes the file contiguously (no holes), so
+    /// accesses can bypass sieving entirely.
+    pub fn is_contiguous(&self) -> bool {
+        self.filetype.size() == self.filetype.extent()
+            && self.filetype.single_run() == Some(self.filetype.data_lb())
+    }
+
+    /// Convert an access offset in etype units to a stream byte position.
+    #[inline]
+    pub fn etype_offset_to_stream(&self, offset: u64) -> u64 {
+        offset * self.etype.size()
+    }
+}
+
+/// Engine-specific navigation over one rank's fileview.
+pub(crate) enum ViewNav {
+    List(ListNav),
+    Ff(FfNav),
+}
+
+impl ViewNav {
+    /// Absolute file offset of stream byte `stream`.
+    pub fn stream_to_abs(&self, stream: u64) -> u64 {
+        match self {
+            ViewNav::List(n) => n.stream_to_abs(stream),
+            ViewNav::Ff(n) => n.stream_to_abs(stream),
+        }
+    }
+
+    /// Stream bytes with absolute offsets `< abs`.
+    pub fn abs_to_stream(&self, abs: u64) -> u64 {
+        match self {
+            ViewNav::List(n) => n.abs_to_stream(abs),
+            ViewNav::Ff(n) => n.abs_to_stream(abs),
+        }
+    }
+
+    /// Stream bytes with absolute offsets in `[lo, hi)`.
+    pub fn bytes_in(&self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return 0;
+        }
+        self.abs_to_stream(hi) - self.abs_to_stream(lo)
+    }
+
+    /// Copy stream-ordered `data` (starting at stream position `stream0`)
+    /// into the window `filebuf` that mirrors file bytes
+    /// `[win_start, win_start + filebuf.len())`. Returns bytes placed
+    /// (stops at window end or data end).
+    pub fn place_into_window(
+        &self,
+        data: &[u8],
+        stream0: u64,
+        filebuf: &mut [u8],
+        win_start: u64,
+    ) -> usize {
+        match self {
+            ViewNav::List(n) => {
+                let runs = n.runs_from(stream0);
+                place_runs(runs, data, filebuf, win_start)
+            }
+            ViewNav::Ff(n) => n.place_window(data, stream0, filebuf, win_start),
+        }
+    }
+
+    /// Copy this view's bytes out of the window `filebuf` (mirroring
+    /// `[win_start, win_start + filebuf.len())`) into `out`, starting at
+    /// stream position `stream0`. Returns bytes extracted (stops at
+    /// window end or `out` end).
+    pub fn extract_from_window(
+        &self,
+        filebuf: &[u8],
+        win_start: u64,
+        stream0: u64,
+        out: &mut [u8],
+    ) -> usize {
+        match self {
+            ViewNav::List(n) => {
+                let runs = n.runs_from(stream0);
+                extract_runs(runs, filebuf, win_start, out)
+            }
+            ViewNav::Ff(n) => n.extract_window(filebuf, win_start, stream0, out),
+        }
+    }
+
+    /// The underlying view.
+    pub fn view(&self) -> &FileView {
+        match self {
+            ViewNav::List(n) => &n.view,
+            ViewNav::Ff(n) => &n.view,
+        }
+    }
+}
+
+/// Shared placement loop: copy `data` into the window along `runs`
+/// (absolute, monotone, starting at or after `win_start`).
+pub(crate) fn place_runs(
+    runs: impl Iterator<Item = Run>,
+    data: &[u8],
+    filebuf: &mut [u8],
+    win_start: u64,
+) -> usize {
+    let win_end = win_start + filebuf.len() as u64;
+    let mut consumed = 0usize;
+    for run in runs {
+        if consumed >= data.len() {
+            break;
+        }
+        let abs = run.disp as u64;
+        if abs >= win_end {
+            break;
+        }
+        debug_assert!(abs >= win_start, "run starts before the window");
+        let take = (run.len as usize)
+            .min(data.len() - consumed)
+            .min((win_end - abs) as usize);
+        let o = (abs - win_start) as usize;
+        filebuf[o..o + take].copy_from_slice(&data[consumed..consumed + take]);
+        consumed += take;
+        if take < run.len as usize {
+            break; // window or data exhausted mid-run
+        }
+    }
+    consumed
+}
+
+/// Shared extraction loop: copy window bytes into `out` along `runs`.
+pub(crate) fn extract_runs(
+    runs: impl Iterator<Item = Run>,
+    filebuf: &[u8],
+    win_start: u64,
+    out: &mut [u8],
+) -> usize {
+    let win_end = win_start + filebuf.len() as u64;
+    let mut produced = 0usize;
+    for run in runs {
+        if produced >= out.len() {
+            break;
+        }
+        let abs = run.disp as u64;
+        if abs >= win_end {
+            break;
+        }
+        debug_assert!(abs >= win_start, "run starts before the window");
+        let take = (run.len as usize)
+            .min(out.len() - produced)
+            .min((win_end - abs) as usize);
+        let o = (abs - win_start) as usize;
+        out[produced..produced + take].copy_from_slice(&filebuf[o..o + take]);
+        produced += take;
+        if take < run.len as usize {
+            break;
+        }
+    }
+    produced
+}
+
+// ---------------------------------------------------------------------
+// List-based navigation
+// ---------------------------------------------------------------------
+
+/// List-based navigator: explicit ol-list, linear traversal per access.
+pub(crate) struct ListNav {
+    pub view: FileView,
+    /// Flattened single filetype instance (offsets relative to `disp`).
+    /// Created once when the view is established, as ROMIO does.
+    pub list: Arc<OlList>,
+}
+
+impl ListNav {
+    pub fn new(view: FileView) -> ListNav {
+        // the paper's "explicit flattening" — O(Nblock) time and memory
+        let list = Arc::new(OlList::flatten(&view.filetype, 1));
+        ListNav { view, list }
+    }
+
+    fn fsize(&self) -> u64 {
+        self.view.filetype.size()
+    }
+
+    fn fext(&self) -> u64 {
+        self.view.filetype.extent()
+    }
+
+    pub fn stream_to_abs(&self, stream: u64) -> u64 {
+        let inst = stream / self.fsize();
+        let within = stream % self.fsize();
+        // deliberate linear traversal from the start of the list — the
+        // list-based navigation cost of paper Section 2.2
+        let rel = self
+            .list
+            .offset_of(within)
+            .expect("within < filetype size");
+        self.view.disp + inst * self.fext() + rel as u64
+    }
+
+    pub fn abs_to_stream(&self, abs: u64) -> u64 {
+        if abs <= self.view.disp {
+            return 0;
+        }
+        let rel = abs - self.view.disp;
+        let inst = rel / self.fext();
+        let within = rel % self.fext();
+        // linear scan for the partial instance
+        inst * self.fsize() + self.list.size_in_window(0, within as i64)
+    }
+
+    /// Iterator over absolute-offset runs from stream position `stream0`.
+    /// Construction performs the linear locate.
+    pub fn runs_from(&self, stream0: u64) -> ListRuns<'_> {
+        let fsize = self.fsize();
+        let inst = stream0 / fsize;
+        let within = stream0 % fsize;
+        // linear locate (the measured overhead)
+        let pos = self.list.locate(within);
+        let (seg, offset_in_seg) = match pos {
+            Some(p) => (p.seg, p.within),
+            None => (self.list.segs.len(), 0), // within == 0 of empty? fsize>0 so only when within rounds to len
+        };
+        ListRuns {
+            nav: self,
+            inst,
+            seg,
+            offset_in_seg,
+        }
+    }
+}
+
+/// Absolute-run iterator over a tiled ol-list.
+pub(crate) struct ListRuns<'a> {
+    nav: &'a ListNav,
+    inst: u64,
+    seg: usize,
+    offset_in_seg: u64,
+}
+
+impl Iterator for ListRuns<'_> {
+    type Item = Run;
+
+    fn next(&mut self) -> Option<Run> {
+        let list = &self.nav.list;
+        if self.seg >= list.segs.len() {
+            // wrap to the next filetype instance
+            self.inst += 1;
+            self.seg = 0;
+            self.offset_in_seg = 0;
+            if list.segs.is_empty() {
+                return None;
+            }
+        }
+        let s = list.segs[self.seg];
+        let base = self.nav.view.disp + self.inst * self.nav.fext();
+        let run = Run {
+            disp: (base as i64) + s.offset + self.offset_in_seg as i64,
+            len: s.len - self.offset_in_seg,
+        };
+        self.seg += 1;
+        self.offset_in_seg = 0;
+        Some(run)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Listless (flattening-on-the-fly) navigation
+// ---------------------------------------------------------------------
+
+/// Listless navigator: no materialized representation beyond the
+/// `O(1)`-size canonical strided form (when the filetype reduces to one).
+pub(crate) struct FfNav {
+    pub view: FileView,
+    /// The flattening-on-the-fly copy batch descriptor, if applicable.
+    strided: Option<StridedSpec>,
+}
+
+impl FfNav {
+    pub fn new(view: FileView) -> FfNav {
+        let strided = view.filetype.as_strided();
+        FfNav { view, strided }
+    }
+
+    /// Place stream data into a window (strided fast path when possible).
+    pub fn place_window(
+        &self,
+        data: &[u8],
+        stream0: u64,
+        filebuf: &mut [u8],
+        win_start: u64,
+    ) -> usize {
+        if let Some(spec) = &self.strided {
+            let buf_disp = win_start as i64 - self.view.disp as i64;
+            return strided_unpack(
+                &spec.clone(),
+                self.view.filetype.extent(),
+                filebuf,
+                buf_disp,
+                u64::MAX,
+                stream0,
+                data,
+            );
+        }
+        let needed = stream0 + data.len() as u64;
+        let runs = self.runs_from(stream0, needed);
+        place_runs(runs, data, filebuf, win_start)
+    }
+
+    /// Extract window bytes into `out` (strided fast path when possible).
+    pub fn extract_window(
+        &self,
+        filebuf: &[u8],
+        win_start: u64,
+        stream0: u64,
+        out: &mut [u8],
+    ) -> usize {
+        if let Some(spec) = &self.strided {
+            let buf_disp = win_start as i64 - self.view.disp as i64;
+            return strided_pack(
+                &spec.clone(),
+                self.view.filetype.extent(),
+                filebuf,
+                buf_disp,
+                u64::MAX,
+                stream0,
+                out,
+            );
+        }
+        let needed = stream0 + out.len() as u64;
+        let runs = self.runs_from(stream0, needed);
+        extract_runs(runs, filebuf, win_start, out)
+    }
+
+    pub fn stream_to_abs(&self, stream: u64) -> u64 {
+        self.view.disp + ff_offset(&self.view.filetype, stream) as u64
+    }
+
+    pub fn abs_to_stream(&self, abs: u64) -> u64 {
+        if abs <= self.view.disp {
+            return 0;
+        }
+        bytes_below_tiled(&self.view.filetype, (abs - self.view.disp) as i64)
+    }
+
+    /// Iterator over absolute-offset runs from stream position `stream0`,
+    /// valid until stream position `stream_hi`. Construction costs
+    /// `O(depth)`.
+    pub fn runs_from(&self, stream0: u64, stream_hi: u64) -> FfRuns<'_> {
+        let fsize = self.view.filetype.size();
+        let count = stream_hi / fsize + 2;
+        FfRuns {
+            disp: self.view.disp,
+            iter: FlatIter::with_skip(&self.view.filetype, count, stream0),
+        }
+    }
+}
+
+/// Absolute-run iterator driven by flattening-on-the-fly.
+pub(crate) struct FfRuns<'a> {
+    disp: u64,
+    iter: FlatIter<'a>,
+}
+
+impl Iterator for FfRuns<'_> {
+    type Item = Run;
+
+    fn next(&mut self) -> Option<Run> {
+        self.iter.next_run().map(|r| Run {
+            disp: r.disp + self.disp as i64,
+            len: r.len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lio_datatype::Datatype;
+
+    fn sample_view(disp: u64) -> FileView {
+        // blocks of 8 bytes at 0, 16, 32 within a 40-byte extent
+        let ft = Datatype::vector(3, 1, 2, &Datatype::double()).unwrap();
+        FileView::new(disp, Datatype::double(), ft).unwrap()
+    }
+
+    fn both_navs(view: FileView) -> (ListNav, FfNav) {
+        (ListNav::new(view.clone()), FfNav::new(view))
+    }
+
+    #[test]
+    fn view_validation() {
+        assert!(FileView::new(0, Datatype::double(), Datatype::double()).is_ok());
+        // non-monotone filetype rejected
+        let bad = Datatype::indexed(&[1, 1], &[4, 0], &Datatype::int()).unwrap();
+        assert!(FileView::new(0, Datatype::int(), bad).is_err());
+        // etype not dividing filetype size
+        let ft = Datatype::contiguous(3, &Datatype::byte()).unwrap();
+        assert!(FileView::new(0, Datatype::int(), ft).is_err());
+    }
+
+    #[test]
+    fn contiguous_detection() {
+        assert!(FileView::bytes().is_contiguous());
+        let dense =
+            FileView::new(8, Datatype::double(), Datatype::contiguous(4, &Datatype::double()).unwrap())
+                .unwrap();
+        assert!(dense.is_contiguous());
+        assert!(!sample_view(0).is_contiguous());
+    }
+
+    #[test]
+    fn navs_agree_on_stream_to_abs() {
+        let (ln, fn_) = both_navs(sample_view(100));
+        for stream in 0..96 {
+            assert_eq!(
+                ln.stream_to_abs(stream),
+                fn_.stream_to_abs(stream),
+                "stream {stream}"
+            );
+        }
+    }
+
+    #[test]
+    fn navs_agree_on_abs_to_stream() {
+        let (ln, fn_) = both_navs(sample_view(100));
+        for abs in 0..300 {
+            assert_eq!(
+                ln.abs_to_stream(abs),
+                fn_.abs_to_stream(abs),
+                "abs {abs}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_to_abs_values() {
+        let (ln, _) = both_navs(sample_view(100));
+        assert_eq!(ln.stream_to_abs(0), 100);
+        assert_eq!(ln.stream_to_abs(8), 116);
+        assert_eq!(ln.stream_to_abs(16), 132);
+        assert_eq!(ln.stream_to_abs(24), 140); // next instance
+    }
+
+    #[test]
+    fn runs_iterators_agree() {
+        let view = sample_view(64);
+        let (ln, fn_) = both_navs(view);
+        for stream0 in 0..48 {
+            let a: Vec<Run> = ln.runs_from(stream0).take(8).collect();
+            let b: Vec<Run> = fn_.runs_from(stream0, stream0 + 200).take(8).collect();
+            assert_eq!(a, b, "stream0 {stream0}");
+        }
+    }
+
+    #[test]
+    fn place_and_extract_roundtrip() {
+        let view = sample_view(0);
+        let nav = ViewNav::Ff(FfNav::new(view));
+        let data: Vec<u8> = (1..=24).collect();
+        // window covering the whole first instance
+        let mut filebuf = vec![0u8; 40];
+        let placed = nav.place_into_window(&data, 0, &mut filebuf, 0);
+        assert_eq!(placed, 24);
+        assert_eq!(&filebuf[0..8], &data[0..8]);
+        assert_eq!(&filebuf[16..24], &data[8..16]);
+        assert_eq!(&filebuf[32..40], &data[16..24]);
+        // gaps untouched
+        assert_eq!(&filebuf[8..16], &[0; 8]);
+
+        let mut out = vec![0u8; 24];
+        let got = nav.extract_from_window(&filebuf, 0, 0, &mut out);
+        assert_eq!(got, 24);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn place_clips_at_window_end() {
+        let view = sample_view(0);
+        for nav in [
+            ViewNav::List(ListNav::new(view.clone())),
+            ViewNav::Ff(FfNav::new(view.clone())),
+        ] {
+            let data: Vec<u8> = (1..=24).collect();
+            // window covers only the first 20 bytes of the file
+            let mut filebuf = vec![0u8; 20];
+            let placed = nav.place_into_window(&data, 0, &mut filebuf, 0);
+            assert_eq!(placed, 12); // block 0 (8) + half of block 1 (4)
+            assert_eq!(&filebuf[0..8], &data[0..8]);
+            assert_eq!(&filebuf[16..20], &data[8..12]);
+            // continue in the next window
+            let mut filebuf2 = vec![0u8; 20];
+            let placed2 = nav.place_into_window(&data[12..], 12, &mut filebuf2, 20);
+            assert_eq!(placed2, 12);
+            assert_eq!(&filebuf2[0..4], &data[12..16]); // rest of block 1
+            assert_eq!(&filebuf2[12..20], &data[16..24]); // block 2
+        }
+    }
+
+    #[test]
+    fn windows_starting_inside_gaps() {
+        let view = sample_view(0);
+        for nav in [
+            ViewNav::List(ListNav::new(view.clone())),
+            ViewNav::Ff(FfNav::new(view.clone())),
+        ] {
+            // window [10, 30): contains only block 1 (16..24)
+            assert_eq!(nav.bytes_in(10, 30), 8);
+            let mut filebuf = vec![9u8; 20];
+            let stream0 = nav.abs_to_stream(10);
+            assert_eq!(stream0, 8);
+            let data = [1u8, 2, 3, 4, 5, 6, 7, 8];
+            let placed = nav.place_into_window(&data, stream0, &mut filebuf, 10);
+            assert_eq!(placed, 8);
+            assert_eq!(&filebuf[6..14], &data);
+        }
+    }
+
+    #[test]
+    fn disp_offsets_everything() {
+        let view = sample_view(1000);
+        let nav = ViewNav::Ff(FfNav::new(view));
+        assert_eq!(nav.stream_to_abs(0), 1000);
+        assert_eq!(nav.abs_to_stream(999), 0);
+        assert_eq!(nav.abs_to_stream(1008), 8);
+        assert_eq!(nav.bytes_in(0, 1000), 0);
+    }
+}

@@ -1,0 +1,107 @@
+#![allow(dead_code)] // each test binary uses a different subset
+
+//! Shared test helpers: a deliberately naive reference implementation of
+//! viewed file access, used to differentially test both engines.
+
+use lio_datatype::typemap::{expand, reference_pack};
+use lio_datatype::Datatype;
+
+/// The file bytes that a correct write must produce: walk the view's tiled
+/// runs, skip `stream_start` data bytes, place `data` run by run.
+pub fn reference_write(
+    file: &mut Vec<u8>,
+    disp: u64,
+    ftype: &Datatype,
+    stream_start: u64,
+    data: &[u8],
+) {
+    let fsize = ftype.size();
+    let fext = ftype.extent();
+    assert!(fsize > 0);
+    let instances = (stream_start + data.len() as u64) / fsize + 2;
+    let mut remaining_skip = stream_start;
+    let mut pos = 0usize;
+    'outer: for inst in 0..instances {
+        let base = disp as i64 + (inst * fext) as i64;
+        for r in expand(ftype, 1) {
+            let mut off = (base + r.disp) as u64;
+            let mut len = r.len;
+            if remaining_skip >= len {
+                remaining_skip -= len;
+                continue;
+            }
+            off += remaining_skip;
+            len -= remaining_skip;
+            remaining_skip = 0;
+            let take = (len as usize).min(data.len() - pos);
+            if file.len() < off as usize + take {
+                file.resize(off as usize + take, 0);
+            }
+            file[off as usize..off as usize + take].copy_from_slice(&data[pos..pos + take]);
+            pos += take;
+            if pos == data.len() {
+                break 'outer;
+            }
+        }
+    }
+    assert_eq!(pos, data.len(), "reference write consumed all data");
+}
+
+/// The bytes a correct read must return (zeros for holes/EOF).
+pub fn reference_read(
+    file: &[u8],
+    disp: u64,
+    ftype: &Datatype,
+    stream_start: u64,
+    total: u64,
+) -> Vec<u8> {
+    let fsize = ftype.size();
+    let fext = ftype.extent();
+    let instances = (stream_start + total) / fsize + 2;
+    let mut out = Vec::with_capacity(total as usize);
+    let mut remaining_skip = stream_start;
+    'outer: for inst in 0..instances {
+        let base = disp as i64 + (inst * fext) as i64;
+        for r in expand(ftype, 1) {
+            let mut off = (base + r.disp) as u64;
+            let mut len = r.len;
+            if remaining_skip >= len {
+                remaining_skip -= len;
+                continue;
+            }
+            off += remaining_skip;
+            len -= remaining_skip;
+            remaining_skip = 0;
+            for k in 0..len {
+                if out.len() as u64 == total {
+                    break 'outer;
+                }
+                let i = (off + k) as usize;
+                out.push(if i < file.len() { file[i] } else { 0 });
+            }
+            if out.len() as u64 == total {
+                break 'outer;
+            }
+        }
+    }
+    assert_eq!(out.len() as u64, total);
+    out
+}
+
+/// Pack a user buffer through a memtype: the stream a write must emit.
+pub fn reference_stream(user: &[u8], memtype: &Datatype, count: u64) -> Vec<u8> {
+    reference_pack(user, memtype, count)
+}
+
+/// A deterministic pseudorandom byte pattern.
+pub fn pattern(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 32) as u8
+        })
+        .collect()
+}

@@ -1,0 +1,115 @@
+//! Shared-file-pointer and inquiry API tests.
+
+use lio_core::{File, Hints, SharedFile};
+use lio_datatype::Datatype;
+use lio_mpi::World;
+use lio_pfs::MemFile;
+use std::collections::HashSet;
+
+fn engines() -> Vec<Hints> {
+    vec![Hints::list_based(), Hints::listless()]
+}
+
+#[test]
+fn shared_writes_get_disjoint_ranges() {
+    for h in engines() {
+        let shared = SharedFile::new(MemFile::new());
+        let shared2 = shared.clone();
+        World::run(4, move |comm| {
+            let f = File::open(comm, shared2.clone(), h).unwrap();
+            // each rank appends 3 records of 16 bytes via the shared pointer
+            for _ in 0..3 {
+                let rec = vec![comm.rank() as u8 + 1; 16];
+                f.write_shared(&rec, 16, &Datatype::byte()).unwrap();
+            }
+        });
+        // 12 records landed, each wholly owned by one rank
+        assert_eq!(shared.len(), 12 * 16);
+        let mut snap = vec![0u8; shared.len() as usize];
+        shared.storage().read_at(0, &mut snap).unwrap();
+        let mut per_rank = [0usize; 4];
+        for rec in snap.chunks(16) {
+            let owner = rec[0];
+            assert!((1..=4).contains(&owner), "unwritten record");
+            assert!(rec.iter().all(|&b| b == owner), "torn record");
+            per_rank[(owner - 1) as usize] += 1;
+        }
+        assert_eq!(per_rank, [3, 3, 3, 3]);
+    }
+}
+
+#[test]
+fn shared_pointer_advances_in_etypes() {
+    let shared = SharedFile::new(MemFile::new());
+    World::run(1, |comm| {
+        let mut f = File::open(comm, shared.clone(), Hints::listless()).unwrap();
+        f.set_view(0, Datatype::double(), Datatype::double()).unwrap();
+        assert_eq!(f.tell_shared(), 0);
+        f.write_shared(&[0u8; 24], 24, &Datatype::byte()).unwrap();
+        assert_eq!(f.tell_shared(), 3); // three doubles
+        f.seek_shared(10);
+        assert_eq!(f.tell_shared(), 10);
+        f.write_shared(&[1u8; 8], 8, &Datatype::byte()).unwrap();
+        assert_eq!(f.tell_shared(), 11);
+    });
+    assert_eq!(shared.len(), 11 * 8);
+}
+
+#[test]
+fn shared_reads_partition_a_work_queue() {
+    // a classic use of the shared pointer: ranks pull work items in
+    // whatever order, collectively consuming each item exactly once
+    let items: Vec<u8> = (0..32).collect();
+    let shared = SharedFile::new(MemFile::with_data(items.clone()));
+    let got = World::run(4, |comm| {
+        let f = File::open(comm, shared.clone(), Hints::listless()).unwrap();
+        let mut mine = Vec::new();
+        for _ in 0..8 {
+            let mut b = [0u8; 1];
+            f.read_shared(&mut b, 1, &Datatype::byte()).unwrap();
+            mine.push(b[0]);
+        }
+        mine
+    });
+    let all: HashSet<u8> = got.into_iter().flatten().collect();
+    assert_eq!(all.len(), 32, "every item consumed exactly once");
+}
+
+#[test]
+fn byte_offset_inquiry() {
+    for h in engines() {
+        let shared = SharedFile::new(MemFile::new());
+        let shared2 = shared.clone();
+        World::run(1, move |comm| {
+            let mut f = File::open(comm, shared2.clone(), h).unwrap();
+            // blocks of one double every third double, displaced by 100
+            let ft = Datatype::vector(4, 1, 3, &Datatype::double()).unwrap();
+            f.set_view(100, Datatype::double(), ft).unwrap();
+            assert_eq!(f.byte_offset(0), 100);
+            assert_eq!(f.byte_offset(1), 124);
+            assert_eq!(f.byte_offset(2), 148);
+            // extent = (3·3+1)·8 = 80, so instance 1 starts at 100+80
+            assert_eq!(f.byte_offset(4), 100 + 80);
+            // inverse
+            assert_eq!(f.offset_of_byte(100), 0);
+            assert_eq!(f.offset_of_byte(124), 1);
+            assert_eq!(f.offset_of_byte(125), 2); // mid-etype rounds up
+            assert_eq!(f.offset_of_byte(0), 0);
+        });
+    }
+}
+
+#[test]
+fn engines_agree_on_byte_offset() {
+    let shared = SharedFile::new(MemFile::new());
+    World::run(1, |comm| {
+        let ft = Datatype::vector(7, 2, 5, &Datatype::int()).unwrap();
+        let mut a = File::open(comm, shared.clone(), Hints::list_based()).unwrap();
+        let mut b = File::open(comm, shared.clone(), Hints::listless()).unwrap();
+        a.set_view(12, Datatype::int(), ft.clone()).unwrap();
+        b.set_view(12, Datatype::int(), ft).unwrap();
+        for off in 0..40 {
+            assert_eq!(a.byte_offset(off), b.byte_offset(off), "offset {off}");
+        }
+    });
+}

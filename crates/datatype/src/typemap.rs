@@ -1,0 +1,230 @@
+//! Reference typemap expansion.
+//!
+//! This module materializes the full MPI typemap of a datatype — every leaf
+//! run as a `(displacement, length)` pair in typemap order — by plain
+//! recursion, with **no** merging and no cleverness. It is `O(Nblock)` in
+//! time and memory by construction and serves as the ground truth that the
+//! ol-list flattener ([`crate::flatten`]) and the flattening-on-the-fly
+//! machinery ([`crate::ff`]) are differentially tested against.
+
+use crate::types::{Datatype, TypeKind};
+
+/// One leaf run of the typemap: `len` data bytes at byte `disp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// Byte displacement relative to the buffer origin.
+    pub disp: i64,
+    /// Length of the run in bytes.
+    pub len: u64,
+}
+
+/// Expand the full typemap of `count` instances of `d`, in typemap order,
+/// without merging adjacent runs.
+pub fn expand(d: &Datatype, count: u64) -> Vec<Run> {
+    let mut out = Vec::new();
+    let ext = d.extent() as i64;
+    for i in 0..count {
+        walk(d, i as i64 * ext, &mut out);
+    }
+    out
+}
+
+/// Expand the typemap of `count` instances and merge adjacent runs — the
+/// canonical maximal-run decomposition.
+pub fn expand_merged(d: &Datatype, count: u64) -> Vec<Run> {
+    merge(expand(d, count))
+}
+
+/// Merge adjacent runs of a typemap-ordered run list.
+pub fn merge(runs: Vec<Run>) -> Vec<Run> {
+    let mut out: Vec<Run> = Vec::with_capacity(runs.len());
+    for r in runs {
+        if r.len == 0 {
+            continue;
+        }
+        if let Some(last) = out.last_mut() {
+            if last.disp + last.len as i64 == r.disp {
+                last.len += r.len;
+                continue;
+            }
+        }
+        out.push(r);
+    }
+    out
+}
+
+fn walk(d: &Datatype, base: i64, out: &mut Vec<Run>) {
+    match d.kind() {
+        TypeKind::Basic { size } => {
+            if *size > 0 {
+                out.push(Run {
+                    disp: base,
+                    len: *size as u64,
+                });
+            }
+        }
+        TypeKind::LbMark | TypeKind::UbMark => {}
+        TypeKind::Contiguous { count, child } => {
+            let ext = child.extent() as i64;
+            for i in 0..*count {
+                walk(child, base + i as i64 * ext, out);
+            }
+        }
+        TypeKind::Hvector {
+            count,
+            blocklen,
+            stride,
+            child,
+        } => {
+            let ext = child.extent() as i64;
+            for i in 0..*count {
+                for j in 0..*blocklen {
+                    walk(child, base + i as i64 * stride + j as i64 * ext, out);
+                }
+            }
+        }
+        TypeKind::Hindexed { blocks, child } => {
+            let ext = child.extent() as i64;
+            for b in blocks.iter() {
+                for j in 0..b.blocklen {
+                    walk(child, base + b.disp + j as i64 * ext, out);
+                }
+            }
+        }
+        TypeKind::Struct { fields } => {
+            for f in fields.iter() {
+                let ext = f.child.extent() as i64;
+                for j in 0..f.count {
+                    walk(&f.child, base + f.disp + j as i64 * ext, out);
+                }
+            }
+        }
+        TypeKind::Resized { child, .. } => walk(child, base, out),
+    }
+}
+
+/// Copy data **out of** a typed buffer into a packed buffer using the
+/// reference typemap — the naive pack used as test oracle.
+///
+/// Positions index directly into `src`; the caller must ensure all
+/// displacements are in range (types with negative data displacements need
+/// an offset applied by the caller).
+pub fn reference_pack(src: &[u8], d: &Datatype, count: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity((d.size() * count) as usize);
+    for r in expand(d, count) {
+        let s = r.disp as usize;
+        out.extend_from_slice(&src[s..s + r.len as usize]);
+    }
+    out
+}
+
+/// Copy packed data **into** a typed buffer using the reference typemap —
+/// the naive unpack used as test oracle.
+pub fn reference_unpack(packed: &[u8], dst: &mut [u8], d: &Datatype, count: u64) {
+    let mut pos = 0usize;
+    for r in expand(d, count) {
+        let t = r.disp as usize;
+        dst[t..t + r.len as usize].copy_from_slice(&packed[pos..pos + r.len as usize]);
+        pos += r.len as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Field, Order};
+
+    #[test]
+    fn expand_basic() {
+        let runs = expand(&Datatype::int(), 3);
+        assert_eq!(
+            runs,
+            vec![
+                Run { disp: 0, len: 4 },
+                Run { disp: 4, len: 4 },
+                Run { disp: 8, len: 4 }
+            ]
+        );
+    }
+
+    #[test]
+    fn expand_vector() {
+        let d = Datatype::vector(2, 2, 3, &Datatype::int()).unwrap();
+        let runs = expand(&d, 1);
+        assert_eq!(
+            runs,
+            vec![
+                Run { disp: 0, len: 4 },
+                Run { disp: 4, len: 4 },
+                Run { disp: 12, len: 4 },
+                Run { disp: 16, len: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn merged_vector_combines_blocks() {
+        let d = Datatype::vector(2, 2, 3, &Datatype::int()).unwrap();
+        let runs = expand_merged(&d, 1);
+        assert_eq!(
+            runs,
+            vec![Run { disp: 0, len: 8 }, Run { disp: 12, len: 8 }]
+        );
+    }
+
+    #[test]
+    fn merged_count_matches_size() {
+        let d = Datatype::vector(5, 3, 7, &Datatype::double()).unwrap();
+        let runs = expand_merged(&d, 4);
+        let total: u64 = runs.iter().map(|r| r.len).sum();
+        assert_eq!(total, d.size() * 4);
+    }
+
+    #[test]
+    fn expand_struct_in_field_order() {
+        let d = Datatype::struct_type(vec![
+            Field {
+                disp: 8,
+                count: 1,
+                child: Datatype::int(),
+            },
+            Field {
+                disp: 0,
+                count: 1,
+                child: Datatype::int(),
+            },
+        ])
+        .unwrap();
+        // typemap order is field order, even when displacements decrease
+        let runs = expand(&d, 1);
+        assert_eq!(runs[0].disp, 8);
+        assert_eq!(runs[1].disp, 0);
+    }
+
+    #[test]
+    fn expand_subarray_row_runs() {
+        let d = Datatype::subarray(&[4, 6], &[2, 3], &[1, 2], Order::C, &Datatype::int()).unwrap();
+        let runs = expand_merged(&d, 1);
+        assert_eq!(
+            runs,
+            vec![
+                Run { disp: 32, len: 12 },
+                Run { disp: 56, len: 12 }
+            ]
+        );
+    }
+
+    #[test]
+    fn reference_pack_roundtrip() {
+        let d = Datatype::vector(3, 1, 2, &Datatype::int()).unwrap();
+        let src: Vec<u8> = (0..24u8).collect();
+        let packed = reference_pack(&src, &d, 1);
+        assert_eq!(packed, vec![0, 1, 2, 3, 8, 9, 10, 11, 16, 17, 18, 19]);
+        let mut dst = vec![0xFFu8; 24];
+        reference_unpack(&packed, &mut dst, &d, 1);
+        for r in expand(&d, 1) {
+            let s = r.disp as usize;
+            assert_eq!(&dst[s..s + 4], &src[s..s + 4]);
+        }
+    }
+}

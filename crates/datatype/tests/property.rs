@@ -1,0 +1,323 @@
+//! Property-based differential tests: random datatype trees are checked
+//! against the naive reference typemap expansion, and the listless
+//! (flattening-on-the-fly) machinery is checked against the list-based
+//! (ol-list) machinery. If these two ever disagree, one of the paper's two
+//! I/O engines is wrong.
+
+use lio_datatype::typemap::{expand, expand_merged, merge, reference_pack};
+use lio_datatype::{
+    bytes_below_tiled, ff_extent, ff_offset, ff_pack, ff_size, ff_unpack, serialize, Datatype,
+    Field, FlatIter, OlList, Run,
+};
+use proptest::prelude::*;
+
+/// Strategy for an arbitrary (possibly non-monotone) datatype tree with a
+/// bounded number of leaf runs.
+fn arb_type(depth: u32) -> BoxedStrategy<Datatype> {
+    let leaf = (1u32..=16).prop_map(Datatype::basic);
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = arb_type(depth - 1);
+    prop_oneof![
+        4 => leaf,
+        2 => (1u64..=4, sub.clone()).prop_map(|(c, t)| Datatype::contiguous(c, &t).unwrap()),
+        3 => (1u64..=4, 1u64..=3, 0i64..=6, sub.clone())
+            .prop_map(|(c, b, s, t)| Datatype::vector(c, b, s, &t).unwrap()),
+        2 => (proptest::collection::vec((1u64..=3, 0i64..=12), 1..4), sub.clone()).prop_map(
+            |(blocks, t)| {
+                let lens: Vec<u64> = blocks.iter().map(|b| b.0).collect();
+                let disps: Vec<i64> = blocks.iter().map(|b| b.1).collect();
+                Datatype::indexed(&lens, &disps, &t).unwrap()
+            }
+        ),
+        2 => (proptest::collection::vec((0i64..=64, 1u64..=3), 1..4), sub.clone()).prop_map(
+            |(fields, t)| {
+                let fields = fields
+                    .into_iter()
+                    .map(|(disp, count)| Field {
+                        disp,
+                        count,
+                        child: t.clone(),
+                    })
+                    .collect();
+                Datatype::struct_type(fields).unwrap()
+            }
+        ),
+        1 => (sub.clone(), 0u64..=16).prop_map(|(t, pad)| {
+            let ext = (t.data_ub() - t.data_lb().min(0)).max(0) as u64 + pad;
+            Datatype::resized(&t, 0, ext.max(1)).unwrap()
+        }),
+    ]
+    .boxed()
+}
+
+/// A monotone filetype-like datatype: strictly forward-moving layout.
+fn arb_monotone(depth: u32) -> BoxedStrategy<Datatype> {
+    arb_type(depth)
+        .prop_filter("monotone with data", |d| d.is_monotone() && d.size() > 0)
+        .boxed()
+}
+
+/// Shift a type so that all its data displacements are non-negative, and
+/// report a buffer size covering it for `count` instances.
+fn buffer_span(d: &Datatype, count: u64) -> (i64, usize) {
+    let ext = d.extent() as i64;
+    let mut lo = i64::MAX;
+    let mut hi = 0i64;
+    for i in 0..count as i64 {
+        lo = lo.min(i * ext + d.data_lb());
+        hi = hi.max(i * ext + d.data_ub());
+    }
+    if lo == i64::MAX {
+        (0, 0)
+    } else {
+        (lo.min(0), (hi - lo.min(0)).max(0) as usize)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// FlatIter (merged) must equal the reference typemap (merged).
+    #[test]
+    fn flatiter_matches_reference(d in arb_type(3), count in 1u64..4) {
+        let got = merge(FlatIter::new(&d, count).collect());
+        let want = expand_merged(&d, count);
+        prop_assert_eq!(got, want);
+    }
+
+    /// OlList::flatten must equal the reference typemap (merged).
+    #[test]
+    fn flatten_matches_reference(d in arb_type(3), count in 1u64..4) {
+        let l = OlList::flatten(&d, count);
+        let want = expand_merged(&d, count);
+        prop_assert_eq!(l.segs.len(), want.len());
+        for (s, r) in l.segs.iter().zip(&want) {
+            prop_assert_eq!(s.offset, r.disp);
+            prop_assert_eq!(s.len, r.len);
+        }
+    }
+
+    /// Seeking with FlatIter must drop exactly the first `skip` bytes.
+    #[test]
+    fn flatiter_skip_consistent(d in arb_type(3), count in 1u64..3, frac in 0.0f64..1.0) {
+        let total = d.size() * count;
+        prop_assume!(total > 0);
+        let skip = ((total as f64) * frac) as u64;
+        let mut want = Vec::new();
+        let mut remaining = skip;
+        for r in expand(&d, count) {
+            if remaining >= r.len {
+                remaining -= r.len;
+            } else {
+                want.push(Run { disp: r.disp + remaining as i64, len: r.len - remaining });
+                remaining = 0;
+            }
+        }
+        let got = merge(FlatIter::with_skip(&d, count, skip).collect());
+        prop_assert_eq!(got, merge(want));
+    }
+
+    /// ff_pack must equal the reference pack for every skip/cap split, and
+    /// the ol-list pack must agree with both.
+    #[test]
+    fn pack_engines_agree(d in arb_type(3), count in 1u64..3, frac in 0.0f64..1.0) {
+        let (origin, span) = buffer_span(&d, count);
+        prop_assume!(origin == 0); // negative displacements need windowed packing
+        prop_assume!(span > 0 && span < 1 << 20);
+        let src: Vec<u8> = (0..span).map(|i| (i % 251) as u8).collect();
+        let want = reference_pack(&src, &d, count);
+        let total = d.size() * count;
+        let skip = ((total as f64) * frac) as u64;
+
+        let mut ff = vec![0u8; (total - skip) as usize];
+        let n = ff_pack(&src, count, &d, skip, &mut ff);
+        prop_assert_eq!(n as u64, total - skip);
+        prop_assert_eq!(&ff[..], &want[skip as usize..]);
+
+        let ol = OlList::flatten(&d, count);
+        let mut lb = vec![0u8; (total - skip) as usize];
+        let m = ol.pack(&src, skip, &mut lb);
+        prop_assert_eq!(m as u64, total - skip);
+        prop_assert_eq!(lb, ff);
+    }
+
+    /// Unpacking what was packed restores the original data runs,
+    /// through both engines.
+    #[test]
+    fn unpack_roundtrip_engines(d in arb_type(3), count in 1u64..3) {
+        let (origin, span) = buffer_span(&d, count);
+        prop_assume!(origin == 0);
+        prop_assume!(span > 0 && span < 1 << 20);
+        let src: Vec<u8> = (0..span).map(|i| (i % 241) as u8).collect();
+        let packed = reference_pack(&src, &d, count);
+
+        let mut ff_dst = vec![0u8; span];
+        ff_unpack(&packed, &mut ff_dst, count, &d, 0);
+        let ol = OlList::flatten(&d, count);
+        let mut ol_dst = vec![0u8; span];
+        ol.unpack(&packed, &mut ol_dst, 0);
+        prop_assert_eq!(&ff_dst, &ol_dst);
+        // data positions hold source data (non-overlapping types only:
+        // merged reference runs must not overlap for this check)
+        let runs = expand_merged(&d, count);
+        let non_overlapping = runs.windows(2).all(|w| w[0].disp + w[0].len as i64 <= w[1].disp);
+        if non_overlapping {
+            for r in &runs {
+                let o = r.disp as usize;
+                prop_assert_eq!(&ff_dst[o..o + r.len as usize], &src[o..o + r.len as usize]);
+            }
+        }
+    }
+
+    /// ff navigation must agree with linear ol-list navigation on monotone
+    /// types: offset_of, size_in_window.
+    #[test]
+    fn navigation_engines_agree(d in arb_monotone(3), frac in 0.0f64..1.0, extent in 0u64..256) {
+        // ff navigation works on the unbounded tiled layout; flatten enough
+        // instances to cover the probed window
+        let insts = extent / d.extent().max(1) + 2;
+        let ol = OlList::flatten(&d, insts);
+        let total = d.size() * insts;
+        let skip = ((total as f64) * frac) as u64;
+        if skip < total {
+            prop_assert_eq!(Some(ff_offset(&d, skip)), ol.offset_of(skip));
+        }
+        // window starting at the data start
+        let lo = ff_offset(&d, 0);
+        prop_assert_eq!(
+            ff_size(&d, 0, extent),
+            ol.size_in_window(lo, lo + extent as i64)
+        );
+    }
+
+    /// bytes_below_tiled is the exact inverse of ff_offset.
+    #[test]
+    fn offset_inverse(d in arb_monotone(3), n in 0u64..512) {
+        let p = ff_offset(&d, n);
+        prop_assert_eq!(bytes_below_tiled(&d, p), n);
+        prop_assert_eq!(bytes_below_tiled(&d, p + 1), n + 1);
+    }
+
+    /// ff_extent and ff_size compose exactly on monotone types.
+    #[test]
+    fn size_extent_compose(d in arb_monotone(3), skip in 0u64..128, size in 1u64..256) {
+        let e = ff_extent(&d, skip, size);
+        prop_assert_eq!(ff_size(&d, skip, e), size);
+    }
+
+    /// Serialization round-trips structurally.
+    #[test]
+    fn serialize_roundtrip(d in arb_type(4)) {
+        let bytes = serialize::encode(&d);
+        let back = serialize::decode(&bytes).unwrap();
+        prop_assert!(d.structurally_equal(&back));
+        prop_assert_eq!(d.size(), back.size());
+        prop_assert_eq!(d.extent(), back.extent());
+        prop_assert_eq!(d.lb(), back.lb());
+        prop_assert_eq!(d.ub(), back.ub());
+        prop_assert_eq!(d.leaf_runs(), back.leaf_runs());
+    }
+
+    /// Cached metadata is consistent with the reference expansion.
+    #[test]
+    fn metadata_consistent(d in arb_type(3)) {
+        let runs = expand(&d, 1);
+        let total: u64 = runs.iter().map(|r| r.len).sum();
+        prop_assert_eq!(total, d.size());
+        prop_assert_eq!(runs.len() as u64, d.leaf_runs());
+        if !runs.is_empty() {
+            let lo = runs.iter().map(|r| r.disp).min().unwrap();
+            let hi = runs.iter().map(|r| r.disp + r.len as i64).max().unwrap();
+            prop_assert_eq!(lo, d.data_lb());
+            prop_assert_eq!(hi, d.data_ub());
+        }
+        // single_run claim must be accurate
+        if let Some(s) = d.single_run() {
+            let merged = expand_merged(&d, 1);
+            prop_assert_eq!(merged.len(), 1);
+            prop_assert_eq!(merged[0].disp, s);
+            prop_assert_eq!(merged[0].len, d.size());
+        }
+        // monotone claim must never be a false positive
+        if d.is_monotone() {
+            let mut prev = i64::MIN;
+            let mut sorted = true;
+            for r in &runs {
+                if r.disp < prev || r.disp < 0 {
+                    sorted = false;
+                    break;
+                }
+                prev = r.disp + r.len as i64;
+            }
+            prop_assert!(sorted, "monotone type with unsorted runs: {:?}", runs);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// darray types of all ranks partition the global array: every element
+    /// owned exactly once, regardless of distribution mix.
+    #[test]
+    fn darray_partitions(
+        g0 in 1u64..12, g1 in 1u64..12,
+        p0 in 1u64..3, p1 in 1u64..3,
+        d0 in 0usize..3, d1 in 0usize..3,
+        b0 in 1u64..4, b1 in 1u64..4,
+    ) {
+        use lio_datatype::{darray, Distrib};
+        use lio_datatype::Order;
+        let pick = |d: usize, b: u64, p: u64| match d {
+            0 if p == 1 => Distrib::None,
+            0 => Distrib::Block,
+            1 => Distrib::Block,
+            _ => Distrib::Cyclic(b),
+        };
+        let distribs = [pick(d0, b0, p0), pick(d1, b1, p1)];
+        let psizes = [p0, p1];
+        let gsizes = [g0, g1];
+        let nprocs = p0 * p1;
+        let total = (g0 * g1) as usize;
+        let mut covered = vec![false; total];
+        for rank in 0..nprocs {
+            let t = darray(nprocs, rank, &gsizes, &distribs, &psizes, Order::C, &Datatype::byte())
+                .unwrap();
+            prop_assert_eq!(t.extent() as usize, total);
+            prop_assert!(t.is_monotone());
+            for r in expand(&t, 1) {
+                for k in 0..r.len as i64 {
+                    let el = (r.disp + k) as usize;
+                    prop_assert!(!covered[el], "element {} owned twice", el);
+                    covered[el] = true;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "array not fully covered");
+    }
+
+    /// as_strided, when present, describes exactly the same bytes as the
+    /// reference typemap.
+    #[test]
+    fn strided_spec_matches_typemap(d in arb_type(3)) {
+        if let Some(spec) = d.as_strided() {
+            let mut from_spec: Vec<(i64, i64)> = Vec::new();
+            for j in 0..spec.count as i64 {
+                from_spec.push((spec.base + j * spec.stride, spec.block as i64));
+            }
+            let mut spec_bytes: Vec<i64> = from_spec
+                .iter()
+                .flat_map(|&(o, l)| o..o + l)
+                .collect();
+            spec_bytes.sort_unstable();
+            let mut map_bytes: Vec<i64> = expand(&d, 1)
+                .iter()
+                .flat_map(|r| r.disp..r.disp + r.len as i64)
+                .collect();
+            map_bytes.sort_unstable();
+            prop_assert_eq!(spec_bytes, map_bytes);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Communicators and point-to-point messaging.
+//!
+//! Ranks are threads; transport is a crossbeam channel per ordered rank
+//! pair. Messages physically move through the channels (the ol-lists of
+//! the list-based engine are really serialized and sent), so communication
+//! *volume* — the quantity the paper's two-phase analysis hinges on — is
+//! faithfully represented, with shared-memory transport standing in for
+//! the SX's internode crossbar.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+/// Wildcard source for [`Comm::recv_any`].
+pub const ANY_SOURCE: usize = usize::MAX;
+
+/// Tag space reserved for collective operations; user tags must be below.
+const COLL_TAG_BASE: u64 = 1 << 32;
+
+/// A message in flight.
+#[derive(Debug)]
+pub(crate) struct Message {
+    pub src: usize,
+    pub tag: u64,
+    pub payload: Vec<u8>,
+}
+
+/// Communication statistics for one rank.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommStats {
+    /// Messages sent by this rank.
+    pub msgs_sent: u64,
+    /// Payload bytes sent by this rank.
+    pub bytes_sent: u64,
+}
+
+/// Shared per-world counters, indexed by rank.
+pub(crate) struct WorldCounters {
+    pub msgs: Vec<AtomicU64>,
+    pub bytes: Vec<AtomicU64>,
+}
+
+/// One rank's endpoint of the communicator.
+///
+/// A `Comm` is owned by exactly one thread (it is `Send` but not `Sync`);
+/// [`crate::World::run`] hands each spawned rank its own.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    /// senders[q] transmits to rank q.
+    senders: Vec<Sender<Message>>,
+    /// receivers[q] yields messages sent by rank q.
+    receivers: Vec<Receiver<Message>>,
+    /// Out-of-order messages already drained from a channel, per source.
+    pending: RefCell<Vec<VecDeque<Message>>>,
+    /// Sequence number disambiguating successive collective operations.
+    coll_seq: RefCell<u64>,
+    counters: Arc<WorldCounters>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<Message>>,
+        receivers: Vec<Receiver<Message>>,
+        counters: Arc<WorldCounters>,
+    ) -> Comm {
+        Comm {
+            rank,
+            size,
+            senders,
+            receivers,
+            pending: RefCell::new((0..size).map(|_| VecDeque::new()).collect()),
+            coll_seq: RefCell::new(0),
+            counters,
+        }
+    }
+
+    /// This rank's index in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// This rank's communication statistics so far.
+    pub fn stats(&self) -> CommStats {
+        CommStats {
+            msgs_sent: self.counters.msgs[self.rank].load(Ordering::Relaxed),
+            bytes_sent: self.counters.bytes[self.rank].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Aggregate statistics across all ranks.
+    pub fn world_stats(&self) -> CommStats {
+        let mut s = CommStats::default();
+        for r in 0..self.size {
+            s.msgs_sent += self.counters.msgs[r].load(Ordering::Relaxed);
+            s.bytes_sent += self.counters.bytes[r].load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    // ----- point-to-point -------------------------------------------------
+
+    /// Send `payload` to rank `dst` with a user `tag` (must be `< 2^32`).
+    pub fn send(&self, dst: usize, tag: u64, payload: &[u8]) {
+        debug_assert!(tag < COLL_TAG_BASE, "user tags must be below 2^32");
+        self.send_raw(dst, tag, payload.to_vec());
+    }
+
+    /// Send an owned buffer, avoiding a copy.
+    pub fn send_vec(&self, dst: usize, tag: u64, payload: Vec<u8>) {
+        debug_assert!(tag < COLL_TAG_BASE, "user tags must be below 2^32");
+        self.send_raw(dst, tag, payload);
+    }
+
+    fn send_raw(&self, dst: usize, tag: u64, payload: Vec<u8>) {
+        assert!(dst < self.size, "destination rank {dst} out of range");
+        self.counters.msgs[self.rank].fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes[self.rank].fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.senders[dst]
+            .send(Message {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            .expect("receiver rank terminated with messages in flight");
+    }
+
+    /// Receive the next message from `src` carrying `tag` (blocking,
+    /// in-order per (src, tag) as in MPI).
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<u8> {
+        self.recv_raw(src, tag)
+    }
+
+    pub(crate) fn recv_raw(&self, src: usize, tag: u64) -> Vec<u8> {
+        assert!(src < self.size, "source rank {src} out of range");
+        // check the stash first
+        {
+            let mut pending = self.pending.borrow_mut();
+            let q = &mut pending[src];
+            if let Some(i) = q.iter().position(|m| m.tag == tag) {
+                return q.remove(i).expect("index in range").payload;
+            }
+        }
+        // drain the channel until the tag appears
+        loop {
+            let msg = self.receivers[src]
+                .recv()
+                .expect("sender rank terminated while a receive was posted");
+            debug_assert_eq!(msg.src, src, "message arrived on the wrong channel");
+            if msg.tag == tag {
+                return msg.payload;
+            }
+            self.pending.borrow_mut()[src].push_back(msg);
+        }
+    }
+
+    /// Receive the next message with `tag` from any source; returns
+    /// `(src, payload)`. Sources are polled fairly.
+    pub fn recv_any(&self, tag: u64) -> (usize, Vec<u8>) {
+        // check stashes first
+        {
+            let mut pending = self.pending.borrow_mut();
+            for src in 0..self.size {
+                let q = &mut pending[src];
+                if let Some(i) = q.iter().position(|m| m.tag == tag) {
+                    return (src, q.remove(i).expect("index in range").payload);
+                }
+            }
+        }
+        // poll channels round-robin (a select over a dynamic set)
+        loop {
+            let mut progressed = false;
+            for src in 0..self.size {
+                while let Ok(msg) = self.receivers[src].try_recv() {
+                    progressed = true;
+                    if msg.tag == tag {
+                        return (src, msg.payload);
+                    }
+                    self.pending.borrow_mut()[src].push_back(msg);
+                }
+            }
+            if !progressed {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Next collective-operation tag; all ranks call collectives in the
+    /// same order (an MPI requirement), so sequence numbers align.
+    pub(crate) fn next_coll_tag(&self) -> u64 {
+        let mut seq = self.coll_seq.borrow_mut();
+        *seq += 1;
+        COLL_TAG_BASE + *seq * 16
+    }
+
+    pub(crate) fn send_coll(&self, dst: usize, tag: u64, payload: Vec<u8>) {
+        self.send_raw(dst, tag, payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::World;
+
+    #[test]
+    fn rank_and_size() {
+        let ranks = World::run(4, |comm| (comm.rank(), comm.size()));
+        assert_eq!(ranks, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn ping_pong() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, b"ping");
+                assert_eq!(comm.recv(1, 8), b"pong");
+            } else {
+                assert_eq!(comm.recv(0, 7), b"ping");
+                comm.send(0, 8, b"pong");
+            }
+        });
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, b"first");
+                comm.send(1, 2, b"second");
+            } else {
+                // receive in reverse tag order
+                assert_eq!(comm.recv(0, 2), b"second");
+                assert_eq!(comm.recv(0, 1), b"first");
+            }
+        });
+    }
+
+    #[test]
+    fn same_tag_preserves_order() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..10u8 {
+                    comm.send(1, 3, &[i]);
+                }
+            } else {
+                for i in 0..10u8 {
+                    assert_eq!(comm.recv(0, 3), vec![i]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn recv_any_collects_all() {
+        World::run(4, |comm| {
+            if comm.rank() == 0 {
+                let mut seen = [false; 4];
+                for _ in 0..3 {
+                    let (src, payload) = comm.recv_any(5);
+                    assert_eq!(payload, vec![src as u8]);
+                    seen[src] = true;
+                }
+                assert_eq!(&seen[1..], &[true, true, true]);
+            } else {
+                comm.send(0, 5, &[comm.rank() as u8]);
+            }
+        });
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let stats = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[0u8; 100]);
+            } else {
+                comm.recv(0, 1);
+            }
+            comm.stats()
+        });
+        assert_eq!(stats[0].msgs_sent, 1);
+        assert_eq!(stats[0].bytes_sent, 100);
+        assert_eq!(stats[1].msgs_sent, 0);
+    }
+
+    #[test]
+    fn many_to_many_stress() {
+        World::run(6, |comm| {
+            let me = comm.rank();
+            for round in 0..50u64 {
+                for dst in 0..comm.size() {
+                    if dst != me {
+                        comm.send(dst, round, &[me as u8, round as u8]);
+                    }
+                }
+                for src in 0..comm.size() {
+                    if src != me {
+                        let m = comm.recv(src, round);
+                        assert_eq!(m, vec![src as u8, round as u8]);
+                    }
+                }
+            }
+        });
+    }
+}

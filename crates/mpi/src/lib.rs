@@ -1,0 +1,24 @@
+//! # lio-mpi — an in-process message-passing substrate
+//!
+//! The paper's two-phase collective I/O moves data *and metadata* between
+//! MPI processes; the list-based engine's defining cost is the ol-list
+//! exchange. To reproduce those effects without an MPI installation (Rust
+//! MPI bindings expose neither datatype internals nor an MPI-IO layer),
+//! this crate provides a small, faithful message-passing world:
+//!
+//! * ranks are threads ([`World::run`]); each owns a [`Comm`] endpoint;
+//! * point-to-point messages carry real payloads through per-pair
+//!   channels with MPI-style `(source, tag)` matching, so communication
+//!   volume is physically realized and counted ([`Comm::stats`]);
+//! * collectives (barrier, bcast, gather, allgather, alltoall, allreduce)
+//!   are built on point-to-point, as in an MPI library.
+//!
+//! Shared-memory transport stands in for the SX crossbar; see DESIGN.md
+//! for the substitution argument.
+
+pub mod coll;
+pub mod comm;
+pub mod world;
+
+pub use comm::{Comm, CommStats, ANY_SOURCE};
+pub use world::World;

@@ -1,0 +1,67 @@
+//! CLI for the `noncontig` synthetic benchmark.
+//!
+//! ```text
+//! noncontig --procs 4 --nblock 1024 --sblock 8 --pattern nc-nc \
+//!           --access collective --engine listless --data 4194304
+//! ```
+
+use lio_noncontig::{run, Access, Config, Engine, Pattern};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: noncontig [--procs N] [--nblock N] [--sblock BYTES] \
+         [--pattern c-c|nc-c|c-nc|nc-nc] [--access independent|collective] \
+         [--engine list-based|listless] [--data BYTES] [--verify]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = Config::new(2, 64, 8);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = || -> String { args.next().unwrap_or_else(|| usage()) };
+        match arg.as_str() {
+            "--procs" => cfg.nprocs = val().parse().unwrap_or_else(|_| usage()),
+            "--nblock" => cfg.nblock = val().parse().unwrap_or_else(|_| usage()),
+            "--sblock" => cfg.sblock = val().parse().unwrap_or_else(|_| usage()),
+            "--data" => cfg.bytes_per_proc = val().parse().unwrap_or_else(|_| usage()),
+            "--pattern" => cfg.pattern = Pattern::parse(&val()).unwrap_or_else(|| usage()),
+            "--access" => {
+                cfg.access = match val().as_str() {
+                    "independent" => Access::Independent,
+                    "collective" => Access::Collective,
+                    _ => usage(),
+                }
+            }
+            "--engine" => {
+                cfg.engine = match val().as_str() {
+                    "list-based" => Engine::ListBased,
+                    "listless" => Engine::Listless,
+                    _ => usage(),
+                }
+            }
+            "--verify" => cfg.verify = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let r = run(&cfg);
+    println!(
+        "noncontig P={} Nblock={} Sblock={} pattern={} access={:?} engine={:?}",
+        cfg.nprocs,
+        cfg.nblock,
+        cfg.sblock,
+        cfg.pattern.label(),
+        cfg.access,
+        cfg.engine,
+    );
+    println!(
+        "  bytes/proc = {}  write Bpp = {:.2} MB/s ({:.4}s)  read Bpp = {:.2} MB/s ({:.4}s)",
+        r.bytes_per_proc, r.write_bpp, r.write_secs, r.read_bpp, r.read_secs
+    );
+}

@@ -1,0 +1,383 @@
+//! # lio-noncontig — the paper's synthetic benchmark
+//!
+//! A faithful reimplementation of the highly configurable `noncontig`
+//! benchmark of Section 4.1: processes write and read back a file through
+//! a vector-like fileview (Figure 4), with the access pattern, vector
+//! length `Nblock`, block size `Sblock`, process count, engine, and access
+//! mode (independent/collective) all parameterizable. The figures of the
+//! paper are sweeps over these parameters:
+//!
+//! * Figure 5 — `Bpp` vs `Nblock`, independent, `Sblock` = 8 B, P = 2;
+//! * Figure 6 — `Bpp` vs `Nblock`, collective, P = 8;
+//! * Figure 7 — `Bpp` vs `Sblock`, independent, `Nblock` = 8, P = 2;
+//! * Figure 8 — `Bpp` vs P, collective, `Sblock` = 2048 B.
+
+pub mod tile;
+
+use std::time::Instant;
+
+use lio_core::{File, Hints, SharedFile};
+use lio_datatype::{Datatype, Field};
+use lio_mpi::World;
+use lio_pfs::MemFile;
+
+pub use lio_core::Engine;
+
+/// The four memory/file layout combinations of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Contiguous memory, contiguous file.
+    CC,
+    /// Non-contiguous memory, contiguous file.
+    NcC,
+    /// Contiguous memory, non-contiguous file.
+    CNc,
+    /// Non-contiguous memory, non-contiguous file.
+    NcNc,
+}
+
+impl Pattern {
+    /// All four patterns.
+    pub fn all() -> [Pattern; 4] {
+        [Pattern::CC, Pattern::NcC, Pattern::CNc, Pattern::NcNc]
+    }
+
+    /// The paper's figure labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Pattern::CC => "c-c",
+            Pattern::NcC => "nc-c",
+            Pattern::CNc => "c-nc",
+            Pattern::NcNc => "nc-nc",
+        }
+    }
+
+    /// Parse a label like `nc-nc`.
+    pub fn parse(s: &str) -> Option<Pattern> {
+        match s {
+            "c-c" => Some(Pattern::CC),
+            "nc-c" => Some(Pattern::NcC),
+            "c-nc" => Some(Pattern::CNc),
+            "nc-nc" => Some(Pattern::NcNc),
+            _ => None,
+        }
+    }
+}
+
+/// Independent or collective file access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// `write_at` / `read_at`.
+    Independent,
+    /// `write_at_all` / `read_at_all` (two-phase).
+    Collective,
+}
+
+/// One benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of processes.
+    pub nprocs: usize,
+    /// Vector length (`blockcount` — the paper's `Nblock`).
+    pub nblock: u64,
+    /// Size of each contiguous block in bytes (the paper's `Sblock`).
+    pub sblock: u64,
+    /// Memory/file layout combination.
+    pub pattern: Pattern,
+    /// Independent or collective access.
+    pub access: Access,
+    /// Engine (list-based or listless).
+    pub engine: Engine,
+    /// Bytes moved per process per direction (rounded down to a whole
+    /// number of datatype instances, minimum one instance).
+    pub bytes_per_proc: u64,
+    /// Verify the read-back against the written data.
+    pub verify: bool,
+    /// Collective buffer override.
+    pub cb_buffer: Option<usize>,
+    /// Independent sieving buffer override.
+    pub ind_buffer: Option<usize>,
+    /// Timing repetitions; the fastest is reported (min-of-N suppresses
+    /// scheduler noise, which dominates at millisecond scales).
+    pub reps: u32,
+}
+
+impl Config {
+    /// A small default configuration.
+    pub fn new(nprocs: usize, nblock: u64, sblock: u64) -> Config {
+        Config {
+            nprocs,
+            nblock,
+            sblock,
+            pattern: Pattern::NcNc,
+            access: Access::Independent,
+            engine: Engine::Listless,
+            bytes_per_proc: 1 << 20,
+            verify: false,
+            cb_buffer: None,
+            ind_buffer: None,
+            reps: 3,
+        }
+    }
+
+    fn hints(&self) -> Hints {
+        let mut h = Hints::with_engine(self.engine);
+        if let Some(cb) = self.cb_buffer {
+            h = h.cb_buffer(cb);
+        }
+        if let Some(ib) = self.ind_buffer {
+            h = h.ind_buffer(ib);
+        }
+        h
+    }
+}
+
+/// Measured result of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Write bandwidth per process, MB/s (data volume / slowest process).
+    pub write_bpp: f64,
+    /// Read bandwidth per process, MB/s.
+    pub read_bpp: f64,
+    /// Bytes actually moved per process per direction.
+    pub bytes_per_proc: u64,
+    /// Wall-clock seconds of the write phase (slowest process).
+    pub write_secs: f64,
+    /// Wall-clock seconds of the read phase (slowest process).
+    pub read_secs: f64,
+}
+
+/// The fileview of Figure 4 for rank `p` of `nprocs`: an LB/vector/UB
+/// struct over blocks of `sblock` bytes, with the vector placed at
+/// `disp = p·sblock` **inside** the struct (exactly as the paper's
+/// Figure 4 draws it) and `stride = nprocs·sblock`, so the ranks'
+/// accesses interleave without overlap, the extent covers all ranks'
+/// data, and every rank uses fileview displacement 0 — the condition the
+/// mergeview optimization needs (Section 3.2.3).
+pub fn figure4_filetype(p: u64, nprocs: u64, nblock: u64, sblock: u64) -> Datatype {
+    let block = Datatype::basic(u32::try_from(sblock).expect("sblock fits u32"));
+    let v = Datatype::vector(nblock, 1, nprocs as i64, &block).expect("vector");
+    let extent = (nblock * nprocs * sblock) as i64;
+    Datatype::struct_type(vec![
+        Field {
+            disp: 0,
+            count: 1,
+            child: Datatype::lb_marker(),
+        },
+        Field {
+            disp: (p * sblock) as i64,
+            count: 1,
+            child: v,
+        },
+        Field {
+            disp: extent,
+            count: 1,
+            child: Datatype::ub_marker(),
+        },
+    ])
+    .expect("figure-4 struct")
+}
+
+/// The non-contiguous memtype: the same vector shape with a fixed
+/// interleave factor of 2 (half-dense memory, as in a typical
+/// struct-of-arrays buffer).
+pub fn noncontig_memtype(nblock: u64, sblock: u64) -> Datatype {
+    let block = Datatype::basic(u32::try_from(sblock).expect("sblock fits u32"));
+    Datatype::vector(nblock, 1, 2, &block).expect("memtype vector")
+}
+
+/// Run one benchmark configuration and report bandwidths.
+///
+/// Every process writes `bytes_per_proc` bytes through its view and reads
+/// them back; bandwidth-per-process uses the slowest process's time, as a
+/// parallel benchmark must.
+pub fn run(cfg: &Config) -> RunResult {
+    let inst_bytes = cfg.nblock * cfg.sblock;
+    let count = (cfg.bytes_per_proc / inst_bytes).max(1);
+    let total = count * inst_bytes;
+    let hints = cfg.hints();
+    let shared = SharedFile::new(MemFile::with_capacity(
+        (total * cfg.nprocs as u64) as usize,
+    ));
+    // Pre-fault the file pages so the first engine measured does not pay
+    // the page-fault cost the second one would skip.
+    shared
+        .storage()
+        .set_len(total * cfg.nprocs as u64)
+        .expect("prefault file");
+
+    let cfg2 = cfg.clone();
+    let shared2 = shared.clone();
+    let results = World::run(cfg.nprocs, move |comm| {
+        let me = comm.rank() as u64;
+        let p = comm.size() as u64;
+        let mut f = File::open(comm, shared2.clone(), hints).expect("open");
+
+        // --- fileview -------------------------------------------------
+        let file_noncontig = matches!(cfg2.pattern, Pattern::CNc | Pattern::NcNc);
+        if file_noncontig {
+            let ft = figure4_filetype(me, p, cfg2.nblock, cfg2.sblock);
+            f.set_view(0, Datatype::byte(), ft).expect("set_view");
+        } else {
+            // contiguous partition: rank p owns [p·total, (p+1)·total)
+            let ft = Datatype::contiguous(inst_bytes, &Datatype::byte()).expect("contig ft");
+            f.set_view(me * total, Datatype::byte(), ft)
+                .expect("set_view");
+        }
+
+        // --- memtype ----------------------------------------------------
+        let mem_noncontig = matches!(cfg2.pattern, Pattern::NcC | Pattern::NcNc);
+        let (memtype, mcount, span) = if mem_noncontig {
+            let mt = noncontig_memtype(cfg2.nblock, cfg2.sblock);
+            let span = (count as i64 - 1) * mt.extent() as i64 + mt.data_ub();
+            (mt, count, span as usize)
+        } else {
+            (
+                Datatype::contiguous(total, &Datatype::byte()).expect("contig mt"),
+                1,
+                total as usize,
+            )
+        };
+        let mut user: Vec<u8> = (0..span).map(|i| (i as u64 * 131 + me) as u8).collect();
+
+        // --- write phase (min over repetitions) --------------------------
+        let reps = cfg2.reps.max(1);
+        let mut write_secs = f64::INFINITY;
+        for _ in 0..reps {
+            comm.barrier();
+            let t0 = Instant::now();
+            match cfg2.access {
+                Access::Independent => {
+                    f.write_at(0, &user, mcount, &memtype).expect("write");
+                }
+                Access::Collective => {
+                    f.write_at_all(0, &user, mcount, &memtype)
+                        .expect("write_at_all");
+                }
+            }
+            comm.barrier();
+            write_secs = write_secs.min(comm.allmax_f64(t0.elapsed().as_secs_f64()));
+        }
+
+        // --- read phase (min over repetitions) ----------------------------
+        let reference = cfg2.verify.then(|| user.clone());
+        user.fill(0);
+        let mut read_secs = f64::INFINITY;
+        for _ in 0..reps {
+            comm.barrier();
+            let t1 = Instant::now();
+            match cfg2.access {
+                Access::Independent => {
+                    f.read_at(0, &mut user, mcount, &memtype).expect("read");
+                }
+                Access::Collective => {
+                    f.read_at_all(0, &mut user, mcount, &memtype)
+                        .expect("read_at_all");
+                }
+            }
+            comm.barrier();
+            read_secs = read_secs.min(comm.allmax_f64(t1.elapsed().as_secs_f64()));
+        }
+
+        if let Some(want) = reference {
+            for r in lio_datatype::typemap::expand(&memtype, mcount) {
+                let o = r.disp as usize;
+                assert_eq!(
+                    &user[o..o + r.len as usize],
+                    &want[o..o + r.len as usize],
+                    "verification failed at run {r:?}"
+                );
+            }
+        }
+        (write_secs, read_secs)
+    });
+
+    let (write_secs, read_secs) = results[0];
+    const MB: f64 = 1.0e6;
+    RunResult {
+        write_bpp: total as f64 / write_secs / MB,
+        read_bpp: total as f64 / read_secs / MB,
+        bytes_per_proc: total,
+        write_secs,
+        read_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(pattern: Pattern, access: Access, engine: Engine) -> Config {
+        Config {
+            nprocs: 2,
+            nblock: 16,
+            sblock: 8,
+            pattern,
+            access,
+            engine,
+            bytes_per_proc: 16 * 8 * 4,
+            verify: true,
+            cb_buffer: Some(1 << 16),
+            ind_buffer: Some(1 << 16),
+            reps: 1,
+        }
+    }
+
+    #[test]
+    fn figure4_type_shape() {
+        let ft = figure4_filetype(0, 4, 10, 8);
+        assert_eq!(ft.size(), 80);
+        assert_eq!(ft.extent(), 4 * 10 * 8);
+        assert!(ft.is_monotone());
+        assert_eq!(ft.leaf_runs(), 10);
+    }
+
+    #[test]
+    fn all_patterns_verify_independent() {
+        for engine in [Engine::ListBased, Engine::Listless] {
+            for pattern in Pattern::all() {
+                let r = run(&quick(pattern, Access::Independent, engine));
+                assert!(r.write_bpp > 0.0);
+                assert!(r.read_bpp > 0.0);
+                assert_eq!(r.bytes_per_proc, 16 * 8 * 4);
+            }
+        }
+    }
+
+    #[test]
+    fn all_patterns_verify_collective() {
+        for engine in [Engine::ListBased, Engine::Listless] {
+            for pattern in Pattern::all() {
+                let r = run(&quick(pattern, Access::Collective, engine));
+                assert!(r.write_bpp > 0.0);
+                assert!(r.read_bpp > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_process_works() {
+        for access in [Access::Independent, Access::Collective] {
+            let mut c = quick(Pattern::NcNc, access, Engine::Listless);
+            c.nprocs = 1;
+            let r = run(&c);
+            assert!(r.write_bpp > 0.0);
+        }
+    }
+
+    #[test]
+    fn pattern_labels_roundtrip() {
+        for p in Pattern::all() {
+            assert_eq!(Pattern::parse(p.label()), Some(p));
+        }
+        assert_eq!(Pattern::parse("bogus"), None);
+    }
+
+    #[test]
+    fn bytes_rounded_to_instances() {
+        let mut c = quick(Pattern::CNc, Access::Independent, Engine::Listless);
+        c.bytes_per_proc = 1000; // instance = 128 bytes
+        let r = run(&c);
+        assert_eq!(r.bytes_per_proc, 128 * 7);
+    }
+}

@@ -1,0 +1,263 @@
+//! A tile-I/O kernel, after the `mpi-tile-io` benchmark used by the
+//! paper's related work (Ching et al., "Noncontiguous I/O through PVFS",
+//! reference \[1\]): a dense 2D array on file is accessed as a grid of
+//! per-process tiles, optionally extended by a ghost border that overlaps
+//! the neighbours' tiles — the access pattern of visualization and
+//! stencil restart workloads.
+//!
+//! Writes touch the disjoint tile interiors; reads fetch the
+//! ghost-extended tiles (overlapping regions are read by several
+//! processes — legal and common). Both are single collective calls over
+//! subarray fileviews.
+
+use std::time::Instant;
+
+use lio_core::{File, Hints, SharedFile};
+use lio_datatype::{Datatype, Order};
+use lio_mpi::World;
+use lio_pfs::MemFile;
+
+use crate::{Access, Engine};
+
+/// Tile-I/O configuration.
+#[derive(Debug, Clone)]
+pub struct TileConfig {
+    /// Process grid (tiles in y, tiles in x); `ty · tx` ranks run.
+    pub tiles: (u64, u64),
+    /// Elements per tile (y, x).
+    pub tile: (u64, u64),
+    /// Bytes per element.
+    pub elem_size: u32,
+    /// Ghost border in elements, applied on every side of a tile for the
+    /// read phase (clipped at the array edges).
+    pub overlap: u64,
+    /// Engine under test.
+    pub engine: Engine,
+    /// Independent or collective access.
+    pub access: Access,
+    /// Verify the data read back.
+    pub verify: bool,
+    /// Timing repetitions (min is reported).
+    pub reps: u32,
+}
+
+impl TileConfig {
+    /// A small default configuration on a `py × px` grid.
+    pub fn new(tiles_y: u64, tiles_x: u64) -> TileConfig {
+        TileConfig {
+            tiles: (tiles_y, tiles_x),
+            tile: (64, 64),
+            elem_size: 32,
+            overlap: 2,
+            engine: Engine::Listless,
+            access: Access::Collective,
+            verify: false,
+            reps: 2,
+        }
+    }
+
+    /// Global array dimensions in elements (y, x).
+    pub fn global(&self) -> (u64, u64) {
+        (self.tiles.0 * self.tile.0, self.tiles.1 * self.tile.1)
+    }
+}
+
+/// Result of a tile-I/O run.
+#[derive(Debug, Clone, Copy)]
+pub struct TileResult {
+    /// Write bandwidth per process (tile interiors), MB/s.
+    pub write_bpp: f64,
+    /// Read bandwidth per process (ghost-extended tiles), MB/s.
+    pub read_bpp: f64,
+    /// Bytes written per process.
+    pub write_bytes: u64,
+    /// Bytes read per process (varies with clipping; rank-0 value).
+    pub read_bytes: u64,
+}
+
+/// The element value at global position `(gy, gx)` — the verification
+/// oracle.
+fn elem_tag(gy: u64, gx: u64) -> u8 {
+    (gy.wrapping_mul(31).wrapping_add(gx.wrapping_mul(17)) % 251) as u8
+}
+
+/// Run the kernel. Spawns `tiles.0 * tiles.1` ranks.
+pub fn run_tileio(cfg: &TileConfig) -> TileResult {
+    let (gy, gx) = cfg.global();
+    let esz = cfg.elem_size as u64;
+    let shared = SharedFile::new(MemFile::with_capacity((gy * gx * esz) as usize));
+    shared.storage().set_len(gy * gx * esz).expect("prefault");
+    let nprocs = (cfg.tiles.0 * cfg.tiles.1) as usize;
+
+    let cfg2 = cfg.clone();
+    let shared2 = shared.clone();
+    let results = World::run(nprocs, move |comm| {
+        let me = comm.rank() as u64;
+        let (py, px) = (me / cfg2.tiles.1, me % cfg2.tiles.1);
+        let esz64 = cfg2.elem_size as u64;
+
+        // interior tile bounds
+        let y0 = py * cfg2.tile.0;
+        let x0 = px * cfg2.tile.1;
+
+        // ghost-extended bounds, clipped to the array
+        let ry0 = y0.saturating_sub(cfg2.overlap);
+        let rx0 = x0.saturating_sub(cfg2.overlap);
+        let ry1 = (y0 + cfg2.tile.0 + cfg2.overlap).min(gy);
+        let rx1 = (x0 + cfg2.tile.1 + cfg2.overlap).min(gx);
+
+        let elem = Datatype::basic(cfg2.elem_size);
+        let write_view = Datatype::subarray(
+            &[gy, gx],
+            &[cfg2.tile.0, cfg2.tile.1],
+            &[y0, x0],
+            Order::C,
+            &elem,
+        )
+        .expect("write subarray");
+        let read_view = Datatype::subarray(
+            &[gy, gx],
+            &[ry1 - ry0, rx1 - rx0],
+            &[ry0, rx0],
+            Order::C,
+            &elem,
+        )
+        .expect("read subarray");
+
+        let hints = Hints::with_engine(cfg2.engine);
+        let mut f = File::open(comm, shared2.clone(), hints).expect("open");
+
+        // --- write the interior -------------------------------------
+        let wbytes = cfg2.tile.0 * cfg2.tile.1 * esz64;
+        let mut wbuf = Vec::with_capacity(wbytes as usize);
+        for y in y0..y0 + cfg2.tile.0 {
+            for x in x0..x0 + cfg2.tile.1 {
+                wbuf.extend(std::iter::repeat_n(elem_tag(y, x), esz64 as usize));
+            }
+        }
+        f.set_view(0, elem.clone(), write_view).expect("set write view");
+        let mut wsecs = f64::INFINITY;
+        for _ in 0..cfg2.reps.max(1) {
+            comm.barrier();
+            let t = Instant::now();
+            match cfg2.access {
+                Access::Collective => {
+                    f.write_at_all(0, &wbuf, wbytes, &Datatype::byte())
+                        .expect("write")
+                }
+                Access::Independent => {
+                    f.write_at(0, &wbuf, wbytes, &Datatype::byte()).expect("write")
+                }
+            };
+            comm.barrier();
+            wsecs = wsecs.min(comm.allmax_f64(t.elapsed().as_secs_f64()));
+        }
+
+        // --- read the ghost-extended tile ----------------------------
+        let rbytes = (ry1 - ry0) * (rx1 - rx0) * esz64;
+        let mut rbuf = vec![0u8; rbytes as usize];
+        f.set_view(0, elem.clone(), read_view).expect("set read view");
+        let mut rsecs = f64::INFINITY;
+        for _ in 0..cfg2.reps.max(1) {
+            comm.barrier();
+            let t = Instant::now();
+            match cfg2.access {
+                Access::Collective => {
+                    f.read_at_all(0, &mut rbuf, rbytes, &Datatype::byte())
+                        .expect("read")
+                }
+                Access::Independent => {
+                    f.read_at(0, &mut rbuf, rbytes, &Datatype::byte()).expect("read")
+                }
+            };
+            comm.barrier();
+            rsecs = rsecs.min(comm.allmax_f64(t.elapsed().as_secs_f64()));
+        }
+
+        if cfg2.verify {
+            // every element of the ghost-extended tile, including the
+            // parts written by neighbours, carries its oracle tag
+            let rw = rx1 - rx0;
+            for y in ry0..ry1 {
+                for x in rx0..rx1 {
+                    let o = (((y - ry0) * rw + (x - rx0)) * esz64) as usize;
+                    let want = elem_tag(y, x);
+                    assert!(
+                        rbuf[o..o + esz64 as usize].iter().all(|&b| b == want),
+                        "rank {me} element ({y},{x})"
+                    );
+                }
+            }
+        }
+
+        (wsecs, rsecs, wbytes, rbytes)
+    });
+
+    let (wsecs, rsecs, wbytes, rbytes) = results[0];
+    TileResult {
+        write_bpp: wbytes as f64 / wsecs / 1e6,
+        read_bpp: rbytes as f64 / rsecs / 1e6,
+        write_bytes: wbytes,
+        read_bytes: rbytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tileio_verifies_both_engines_collective() {
+        for engine in [Engine::ListBased, Engine::Listless] {
+            let mut cfg = TileConfig::new(2, 2);
+            cfg.tile = (16, 16);
+            cfg.elem_size = 8;
+            cfg.overlap = 3;
+            cfg.engine = engine;
+            cfg.verify = true;
+            cfg.reps = 1;
+            let r = run_tileio(&cfg);
+            assert!(r.write_bpp > 0.0 && r.read_bpp > 0.0);
+            assert_eq!(r.write_bytes, 16 * 16 * 8);
+            // rank 0's ghost tile is clipped at the top-left corner
+            assert_eq!(r.read_bytes, (16 + 3) * (16 + 3) * 8);
+        }
+    }
+
+    #[test]
+    fn tileio_independent_mode() {
+        let mut cfg = TileConfig::new(2, 2);
+        cfg.tile = (8, 8);
+        cfg.elem_size = 4;
+        cfg.overlap = 1;
+        cfg.access = Access::Independent;
+        cfg.verify = true;
+        cfg.reps = 1;
+        run_tileio(&cfg);
+    }
+
+    #[test]
+    fn tileio_no_overlap() {
+        let mut cfg = TileConfig::new(1, 3);
+        cfg.tile = (4, 4);
+        cfg.elem_size = 2;
+        cfg.overlap = 0;
+        cfg.verify = true;
+        cfg.reps = 1;
+        let r = run_tileio(&cfg);
+        assert_eq!(r.read_bytes, r.write_bytes);
+    }
+
+    #[test]
+    fn tileio_overlap_larger_than_tile_clips() {
+        let mut cfg = TileConfig::new(2, 2);
+        cfg.tile = (4, 4);
+        cfg.elem_size = 2;
+        cfg.overlap = 10; // ghost swallows the whole array
+        cfg.verify = true;
+        cfg.reps = 1;
+        let r = run_tileio(&cfg);
+        // rank 0 reads the entire 8x8 array
+        assert_eq!(r.read_bytes, 8 * 8 * 2);
+    }
+}

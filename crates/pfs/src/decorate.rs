@@ -1,0 +1,346 @@
+//! Storage-file decorators: throttling, statistics, and fault injection.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::file::StorageFile;
+
+/// A bandwidth/latency model emulating a particular storage system.
+///
+/// The paper's SX-6 testbed sustains ~6.5 GB/s writes and ~8 GB/s reads
+/// ([`Throttle::sx6_local_fs`]). Each access costs `latency` plus
+/// `bytes / bandwidth`; the delay is realized with a calibrated spin-wait
+/// so that sub-microsecond costs are representable (OS sleep granularity
+/// is far too coarse at these rates).
+#[derive(Debug, Clone, Copy)]
+pub struct Throttle {
+    /// Sustained read bandwidth in bytes/second.
+    pub read_bw: f64,
+    /// Sustained write bandwidth in bytes/second.
+    pub write_bw: f64,
+    /// Fixed per-access latency.
+    pub latency: Duration,
+}
+
+impl Throttle {
+    /// The local file system of the paper's SX-6/SX-7 nodes: 6.5 GB/s
+    /// write, 8 GB/s read, negligible access latency.
+    pub fn sx6_local_fs() -> Throttle {
+        Throttle {
+            read_bw: 8.0e9,
+            write_bw: 6.5e9,
+            latency: Duration::from_micros(10),
+        }
+    }
+
+    /// A commodity NFS-class file system: ~100 MB/s with high per-access
+    /// latency — the regime where file access time hides CPU overheads
+    /// (useful as the ablation contrast).
+    pub fn commodity_nfs() -> Throttle {
+        Throttle {
+            read_bw: 1.0e8,
+            write_bw: 1.0e8,
+            latency: Duration::from_micros(500),
+        }
+    }
+
+    fn delay_for(&self, bytes: usize, write: bool) -> Duration {
+        let bw = if write { self.write_bw } else { self.read_bw };
+        self.latency + Duration::from_secs_f64(bytes as f64 / bw)
+    }
+}
+
+/// Wraps a [`StorageFile`] to emulate a given bandwidth/latency profile.
+pub struct ThrottledFile<F> {
+    inner: F,
+    throttle: Throttle,
+}
+
+impl<F: StorageFile> ThrottledFile<F> {
+    /// Throttle `inner` to the given profile.
+    pub fn new(inner: F, throttle: Throttle) -> ThrottledFile<F> {
+        ThrottledFile { inner, throttle }
+    }
+
+    /// The wrapped file.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+fn spin_for(d: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+impl<F: StorageFile> StorageFile for ThrottledFile<F> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read_at(offset, buf)?;
+        spin_for(self.throttle.delay_for(n, false));
+        Ok(n)
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write_at(offset, buf)?;
+        spin_for(self.throttle.delay_for(n, true));
+        Ok(n)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+/// Access statistics collected by [`CountingFile`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of read calls.
+    pub reads: u64,
+    /// Number of write calls.
+    pub writes: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+}
+
+/// Wraps a [`StorageFile`] and counts accesses and bytes — used by the
+/// overhead ablation benches to show, e.g., how data sieving trades access
+/// count against transferred volume.
+pub struct CountingFile<F> {
+    inner: F,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl<F: StorageFile> CountingFile<F> {
+    /// Wrap `inner` with fresh counters.
+    pub fn new(inner: F) -> CountingFile<F> {
+        CountingFile {
+            inner,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the counters to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+    }
+
+    /// The wrapped file.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+impl<F: StorageFile> StorageFile for CountingFile<F> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read_at(offset, buf)?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write_at(offset, buf)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+/// Fault-injection plan for [`FaultyFile`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Every `short_every`-th access (1-based) is truncated to half its
+    /// length (0 disables).
+    pub short_every: u64,
+    /// Every `fail_every`-th access returns `ErrorKind::Other` (0
+    /// disables).
+    pub fail_every: u64,
+}
+
+/// Wraps a [`StorageFile`] and deterministically injects short transfers
+/// and errors, for exercising the I/O layer's retry/short-read handling.
+pub struct FaultyFile<F> {
+    inner: F,
+    plan: FaultPlan,
+    ops: AtomicU64,
+}
+
+impl<F: StorageFile> FaultyFile<F> {
+    /// Wrap `inner` under the given fault plan.
+    pub fn new(inner: F, plan: FaultPlan) -> FaultyFile<F> {
+        FaultyFile {
+            inner,
+            plan,
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    fn next_op(&self) -> u64 {
+        self.ops.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn should_fail(&self, op: u64) -> bool {
+        self.plan.fail_every != 0 && op.is_multiple_of(self.plan.fail_every)
+    }
+
+    fn should_shorten(&self, op: u64) -> bool {
+        self.plan.short_every != 0 && op.is_multiple_of(self.plan.short_every)
+    }
+}
+
+impl<F: StorageFile> StorageFile for FaultyFile<F> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let op = self.next_op();
+        if self.should_fail(op) {
+            return Err(io::Error::other("injected read fault"));
+        }
+        if self.should_shorten(op) && buf.len() > 1 {
+            let half = buf.len() / 2;
+            return self.inner.read_at(offset, &mut buf[..half]);
+        }
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<usize> {
+        let op = self.next_op();
+        if self.should_fail(op) {
+            return Err(io::Error::other("injected write fault"));
+        }
+        if self.should_shorten(op) && buf.len() > 1 {
+            let half = buf.len() / 2;
+            return self.inner.write_at(offset, &buf[..half]);
+        }
+        self.inner.write_at(offset, buf)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::MemFile;
+
+    #[test]
+    fn counting_tracks_ops() {
+        let f = CountingFile::new(MemFile::new());
+        f.write_at(0, &[1; 100]).unwrap();
+        let mut buf = [0u8; 40];
+        f.read_at(0, &mut buf).unwrap();
+        f.read_at(60, &mut buf).unwrap();
+        let s = f.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_written, 100);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.bytes_read, 80);
+        f.reset();
+        assert_eq!(f.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn throttled_delays_scale_with_bytes() {
+        let slow = Throttle {
+            read_bw: 1.0e6, // 1 MB/s
+            write_bw: 1.0e6,
+            latency: Duration::ZERO,
+        };
+        let f = ThrottledFile::new(MemFile::new(), slow);
+        let t0 = Instant::now();
+        f.write_at(0, &[0u8; 10_000]).unwrap(); // should cost ~10ms
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= Duration::from_millis(9), "{elapsed:?}");
+    }
+
+    #[test]
+    fn throttled_preserves_data() {
+        let f = ThrottledFile::new(MemFile::new(), Throttle::sx6_local_fs());
+        f.write_at(5, b"data").unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(f.read_at(5, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"data");
+    }
+
+    #[test]
+    fn faulty_injects_errors() {
+        let f = FaultyFile::new(
+            MemFile::with_data(vec![7; 64]),
+            FaultPlan {
+                short_every: 0,
+                fail_every: 3,
+            },
+        );
+        let mut buf = [0u8; 8];
+        assert!(f.read_at(0, &mut buf).is_ok()); // op 1
+        assert!(f.read_at(0, &mut buf).is_ok()); // op 2
+        assert!(f.read_at(0, &mut buf).is_err()); // op 3
+        assert!(f.read_at(0, &mut buf).is_ok()); // op 4
+    }
+
+    #[test]
+    fn faulty_shortens_transfers() {
+        let f = FaultyFile::new(
+            MemFile::with_data(vec![7; 64]),
+            FaultPlan {
+                short_every: 2,
+                fail_every: 0,
+            },
+        );
+        let mut buf = [0u8; 8];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 8); // op 1
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 4); // op 2: shortened
+    }
+}

@@ -1,0 +1,283 @@
+//! The storage-file abstraction and its in-memory and on-disk backends.
+
+use std::io;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A byte-addressable storage file supporting positional I/O — the
+/// substrate beneath the MPI-IO layer, standing in for the SX local file
+/// system of the paper's testbed.
+///
+/// Semantics follow POSIX `pread`/`pwrite`:
+/// * `read_at` returns the number of bytes read, which is short only when
+///   the read extends past end-of-file;
+/// * `write_at` extends the file as needed and returns the bytes written;
+/// * both may be called concurrently from many threads (interior
+///   synchronization is the implementation's responsibility).
+pub trait StorageFile: Send + Sync {
+    /// Read into `buf` starting at byte `offset`; returns bytes read.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Write `buf` starting at byte `offset`, extending the file if
+    /// needed; returns bytes written.
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<usize>;
+
+    /// Current file length in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Truncate or extend (zero-filled) the file to `len` bytes.
+    fn set_len(&self, len: u64) -> io::Result<()>;
+
+    /// Flush any caches to stable storage.
+    fn sync(&self) -> io::Result<()>;
+}
+
+impl<F: StorageFile + ?Sized> StorageFile for Arc<F> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        (**self).read_at(offset, buf)
+    }
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<usize> {
+        (**self).write_at(offset, buf)
+    }
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        (**self).set_len(len)
+    }
+    fn sync(&self) -> io::Result<()> {
+        (**self).sync()
+    }
+}
+
+/// A growable, thread-safe in-memory file.
+///
+/// `MemFile` plays the role of a *fast* parallel file system: its transfer
+/// rate is the machine's memcpy bandwidth, which is exactly the regime the
+/// paper identifies as the one where listless I/O matters most ("the
+/// higher the bandwidth of the used file system in relation to the
+/// bandwidth of the memory system..., the more important listless I/O
+/// is"). Use [`crate::ThrottledFile`] to emulate slower storage.
+#[derive(Default)]
+pub struct MemFile {
+    data: RwLock<Vec<u8>>,
+}
+
+impl MemFile {
+    /// An empty in-memory file.
+    pub fn new() -> MemFile {
+        MemFile::default()
+    }
+
+    /// An in-memory file prefilled with `data`.
+    pub fn with_data(data: Vec<u8>) -> MemFile {
+        MemFile {
+            data: RwLock::new(data),
+        }
+    }
+
+    /// An empty file with reserved capacity (avoids reallocation noise in
+    /// benchmarks).
+    pub fn with_capacity(cap: usize) -> MemFile {
+        MemFile {
+            data: RwLock::new(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Snapshot the entire contents (test helper).
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.data.read().clone()
+    }
+}
+
+impl StorageFile for MemFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let data = self.data.read();
+        let len = data.len() as u64;
+        if offset >= len {
+            return Ok(0);
+        }
+        let n = buf.len().min((len - offset) as usize);
+        buf[..n].copy_from_slice(&data[offset as usize..offset as usize + n]);
+        Ok(n)
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let end = offset as usize + buf.len();
+        let mut data = self.data.write();
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        data[offset as usize..end].copy_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn len(&self) -> u64 {
+        self.data.read().len() as u64
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.data.write().resize(len as usize, 0);
+        Ok(())
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A [`StorageFile`] backed by a real file on disk, for examples and
+/// integration tests that want durable output.
+pub struct UnixFile {
+    file: std::fs::File,
+}
+
+impl UnixFile {
+    /// Create (or truncate) a file at `path`.
+    pub fn create(path: impl AsRef<std::path::Path>) -> io::Result<UnixFile> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(UnixFile { file })
+    }
+
+    /// Open an existing file at `path` for read/write.
+    pub fn open(path: impl AsRef<std::path::Path>) -> io::Result<UnixFile> {
+        let file = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(UnixFile { file })
+    }
+}
+
+impl StorageFile for UnixFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        use std::os::unix::fs::FileExt;
+        // loop over partial reads so callers see POSIX-short reads only at EOF
+        let mut total = 0;
+        while total < buf.len() {
+            match self.file.read_at(&mut buf[total..], offset + total as u64) {
+                Ok(0) => break,
+                Ok(n) => total += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<usize> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(buf, offset)?;
+        Ok(buf.len())
+    }
+
+    fn len(&self) -> u64 {
+        self.file.metadata().map(|m| m.len()).unwrap_or(0)
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memfile_read_write() {
+        let f = MemFile::new();
+        assert_eq!(f.write_at(0, b"hello").unwrap(), 5);
+        let mut buf = [0u8; 5];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn memfile_sparse_write_zero_fills() {
+        let f = MemFile::new();
+        f.write_at(10, b"xy").unwrap();
+        assert_eq!(f.len(), 12);
+        let mut buf = [9u8; 12];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 12);
+        assert_eq!(&buf[..10], &[0u8; 10]);
+        assert_eq!(&buf[10..], b"xy");
+    }
+
+    #[test]
+    fn memfile_short_read_at_eof() {
+        let f = MemFile::with_data(vec![1, 2, 3]);
+        let mut buf = [0u8; 8];
+        assert_eq!(f.read_at(1, &mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], &[2, 3]);
+        assert_eq!(f.read_at(3, &mut buf).unwrap(), 0);
+        assert_eq!(f.read_at(100, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn memfile_set_len() {
+        let f = MemFile::with_data(vec![7; 8]);
+        f.set_len(4).unwrap();
+        assert_eq!(f.len(), 4);
+        f.set_len(6).unwrap();
+        let mut buf = [0u8; 6];
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, &[7, 7, 7, 7, 0, 0]);
+    }
+
+    #[test]
+    fn memfile_concurrent_disjoint_writes() {
+        let f = Arc::new(MemFile::new());
+        f.set_len(8 * 64).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let f = Arc::clone(&f);
+                s.spawn(move || {
+                    let buf = vec![t as u8 + 1; 64];
+                    f.write_at(t as u64 * 64, &buf).unwrap();
+                });
+            }
+        });
+        let snap = f.snapshot();
+        for t in 0..8usize {
+            assert!(snap[t * 64..(t + 1) * 64].iter().all(|&b| b == t as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn unixfile_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("lio-pfs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unixfile_roundtrip.bin");
+        let f = UnixFile::create(&path).unwrap();
+        f.write_at(3, b"abc").unwrap();
+        assert_eq!(f.len(), 6);
+        let mut buf = [0u8; 6];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 6);
+        assert_eq!(&buf, b"\0\0\0abc");
+        drop(f);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn arc_passthrough() {
+        let f: Arc<dyn StorageFile> = Arc::new(MemFile::new());
+        f.write_at(0, b"zz").unwrap();
+        assert_eq!(f.len(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! # lio-pfs — the storage substrate
+//!
+//! The paper's testbed is the local file system of NEC SX-6/SX-7 nodes
+//! (6.5 GB/s writes, 8 GB/s reads). This crate provides the stand-in:
+//!
+//! * [`StorageFile`] — the positional-I/O trait the MPI-IO layer is
+//!   written against;
+//! * [`MemFile`] — a thread-safe in-memory file whose transfer rate is
+//!   memcpy bandwidth (the "fast file system" regime where listless I/O
+//!   matters most), plus [`UnixFile`] for real on-disk output;
+//! * [`ThrottledFile`] — a calibrated bandwidth/latency model for
+//!   emulating slower storage ([`Throttle::sx6_local_fs`],
+//!   [`Throttle::commodity_nfs`]);
+//! * [`CountingFile`] — access/byte counters for the overhead ablations;
+//! * [`FaultyFile`] — deterministic fault injection (short transfers,
+//!   errors);
+//! * [`RangeLock`] — the byte-range lock that data-sieving writes need for
+//!   their read-modify-write cycle;
+//! * [`StripedFile`] — RAID-0-style striping over several backends, the
+//!   "suitable striping configuration" of the paper's Figure 8
+//!   discussion.
+
+pub mod decorate;
+pub mod file;
+pub mod lock;
+pub mod stripe;
+
+pub use decorate::{CountingFile, FaultPlan, FaultyFile, IoStats, Throttle, ThrottledFile};
+pub use file::{MemFile, StorageFile, UnixFile};
+pub use lock::{RangeGuard, RangeLock};
+pub use stripe::StripedFile;

@@ -1,0 +1,244 @@
+//! Striped storage: a RAID-0-style file over several backends.
+//!
+//! The paper's Figure 8 discussion notes that parallel file access "may
+//! increase the accumulated bandwidth if the file system is using a
+//! storage system with a suitable striping configuration". `StripedFile`
+//! models that configuration: the byte space is cut into `stripe_size`
+//! stripes dealt round-robin over the member files, so concurrent
+//! accesses to different stripes can proceed on different members (each
+//! member keeps its own interior lock).
+
+use std::io;
+
+use crate::file::StorageFile;
+
+/// A file striped round-robin over several member files.
+pub struct StripedFile<F> {
+    members: Vec<F>,
+    stripe_size: u64,
+}
+
+impl<F: StorageFile> StripedFile<F> {
+    /// Stripe over `members` with the given stripe size in bytes.
+    pub fn new(members: Vec<F>, stripe_size: u64) -> StripedFile<F> {
+        assert!(!members.is_empty(), "need at least one member");
+        assert!(stripe_size > 0, "stripe size must be positive");
+        StripedFile {
+            members,
+            stripe_size,
+        }
+    }
+
+    /// Number of member files.
+    pub fn width(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The members (for inspection in tests).
+    pub fn members(&self) -> &[F] {
+        &self.members
+    }
+
+    /// Map a global offset to (member, member-local offset, bytes left in
+    /// this stripe).
+    fn locate(&self, offset: u64) -> (usize, u64, u64) {
+        let ss = self.stripe_size;
+        let w = self.members.len() as u64;
+        let stripe = offset / ss;
+        let within = offset % ss;
+        let member = (stripe % w) as usize;
+        // local offset: full local stripes before this one, plus `within`
+        let local = (stripe / w) * ss + within;
+        (member, local, ss - within)
+    }
+}
+
+impl<F: StorageFile> StorageFile for StripedFile<F> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let (m, local, left) = self.locate(offset + done as u64);
+            let n = (buf.len() - done).min(left as usize);
+            let got = self.members[m].read_at(local, &mut buf[done..done + n])?;
+            done += got;
+            if got < n {
+                break; // EOF on this member
+            }
+        }
+        Ok(done)
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<usize> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let (m, local, left) = self.locate(offset + done as u64);
+            let n = (buf.len() - done).min(left as usize);
+            let put = self.members[m].write_at(local, &buf[done..done + n])?;
+            done += put;
+            if put < n {
+                break;
+            }
+        }
+        Ok(done)
+    }
+
+    fn len(&self) -> u64 {
+        // the logical length is bounded by the member that ends first in
+        // round-robin order; compute the maximum consistent global length
+        let ss = self.stripe_size;
+        let w = self.members.len() as u64;
+        let mut best = 0u64;
+        for (i, f) in self.members.iter().enumerate() {
+            let l = f.len();
+            // member i holds local stripes k*ss..; local length l means
+            // full stripes = l / ss (+ partial). Its last byte maps to the
+            // global position:
+            let full = l / ss;
+            let partial = l % ss;
+            let global_end = if partial > 0 {
+                (full * w + i as u64) * ss + partial
+            } else if full > 0 {
+                ((full - 1) * w + i as u64) * ss + ss
+            } else {
+                0
+            };
+            best = best.max(global_end);
+        }
+        best
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        // distribute the logical length across members
+        let ss = self.stripe_size;
+        let w = self.members.len() as u64;
+        for (i, f) in self.members.iter().enumerate() {
+            let i = i as u64;
+            // count whole/partial stripes member i holds below `len`
+            let full_stripes = len / ss;
+            let rem = len % ss;
+            let mine_full = full_stripes / w + u64::from(full_stripes % w > i);
+            let mut local = mine_full * ss;
+            if full_stripes % w == i {
+                local += rem;
+            }
+            f.set_len(local)?;
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        for f in &self.members {
+            f.sync()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::MemFile;
+
+    fn striped(w: usize, ss: u64) -> StripedFile<MemFile> {
+        StripedFile::new((0..w).map(|_| MemFile::new()).collect(), ss)
+    }
+
+    #[test]
+    fn roundtrip_across_stripes() {
+        let f = striped(3, 8);
+        let data: Vec<u8> = (0..100).collect();
+        assert_eq!(f.write_at(0, &data).unwrap(), 100);
+        let mut back = vec![0u8; 100];
+        assert_eq!(f.read_at(0, &mut back).unwrap(), 100);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn stripes_land_on_members_round_robin() {
+        let f = striped(2, 4);
+        f.write_at(0, &[1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]).unwrap();
+        // stripe 0 -> member 0, stripe 1 -> member 1, stripe 2 -> member 0
+        let m0 = f.members()[0].snapshot();
+        let m1 = f.members()[1].snapshot();
+        assert_eq!(m0, vec![1, 1, 1, 1, 3, 3, 3, 3]);
+        assert_eq!(m1, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn unaligned_reads_and_writes() {
+        let f = striped(3, 5);
+        let data: Vec<u8> = (0..64).collect();
+        f.write_at(7, &data).unwrap();
+        let mut back = vec![0u8; 64];
+        f.read_at(7, &mut back).unwrap();
+        assert_eq!(back, data);
+        // bytes before the write read as zero
+        let mut head = vec![9u8; 7];
+        f.read_at(0, &mut head).unwrap();
+        assert_eq!(head, vec![0u8; 7]);
+    }
+
+    #[test]
+    fn len_accounts_for_round_robin() {
+        let f = striped(2, 4);
+        assert_eq!(f.len(), 0);
+        f.write_at(0, &[0; 10]).unwrap(); // stripes 0,1 full, stripe 2 partial
+        assert_eq!(f.len(), 10);
+        f.write_at(17, &[1]).unwrap();
+        assert_eq!(f.len(), 18);
+    }
+
+    #[test]
+    fn set_len_roundtrips() {
+        for len in [0u64, 1, 4, 7, 8, 9, 16, 23] {
+            let f = striped(2, 4);
+            f.set_len(len).unwrap();
+            assert_eq!(f.len(), len, "len {len}");
+        }
+    }
+
+    #[test]
+    fn width_one_is_plain_file() {
+        let f = striped(1, 16);
+        let data: Vec<u8> = (0..40).collect();
+        f.write_at(3, &data).unwrap();
+        assert_eq!(f.members()[0].snapshot().len(), 43);
+        assert_eq!(f.len(), 43);
+    }
+
+    #[test]
+    fn large_unaligned_transfer() {
+        let f = striped(4, 64);
+        let data = vec![7u8; 1000];
+        f.write_at(100, &data).unwrap();
+        let mut back = vec![0u8; 1000];
+        f.read_at(100, &mut back).unwrap();
+        assert_eq!(back, data);
+        f.sync().unwrap();
+    }
+
+    #[test]
+    fn concurrent_disjoint_stripe_writes() {
+        use std::sync::Arc;
+        let f = Arc::new(striped(4, 16));
+        f.set_len(16 * 16).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let f = Arc::clone(&f);
+                s.spawn(move || {
+                    // each thread writes its own stripes (t, t+4, t+8, ...)
+                    for k in (t..16).step_by(4) {
+                        let buf = vec![t as u8 + 1; 16];
+                        f.write_at(k as u64 * 16, &buf).unwrap();
+                    }
+                });
+            }
+        });
+        let mut all = vec![0u8; 256];
+        f.read_at(0, &mut all).unwrap();
+        for (k, stripe) in all.chunks(16).enumerate() {
+            let owner = (k % 4) as u8 + 1;
+            assert!(stripe.iter().all(|&b| b == owner), "stripe {k}");
+        }
+    }
+}

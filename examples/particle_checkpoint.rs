@@ -1,0 +1,145 @@
+//! Particle checkpoint: a struct-of-arrays simulation state is written to
+//! a single array-of-structs checkpoint file, collectively, using derived
+//! datatypes on *both* sides of the transfer:
+//!
+//! * the **memtype** gathers each particle's position (from one array)
+//!   and velocity (from another) — a non-contiguous memory layout;
+//! * the **filetype** interleaves the ranks' particle records by block —
+//!   a non-contiguous file layout (the `nc-nc` case of Figure 1).
+//!
+//! The checkpoint is then restarted: read back through the same views and
+//! compared. Both engines are exercised and must produce identical files.
+//!
+//! Run with: `cargo run --example particle_checkpoint`
+
+use listless_io::prelude::*;
+
+const PARTICLES_PER_RANK: u64 = 1000;
+const RANKS: u64 = 4;
+/// One record on file: 3 position + 3 velocity doubles.
+const REC: u64 = 6 * 8;
+
+/// Per-rank struct-of-arrays state.
+struct State {
+    pos: Vec<f64>, // 3 per particle
+    vel: Vec<f64>, // 3 per particle
+}
+
+impl State {
+    fn init(rank: u64) -> State {
+        let n = PARTICLES_PER_RANK as usize;
+        State {
+            pos: (0..3 * n)
+                .map(|i| rank as f64 * 1e6 + i as f64)
+                .collect(),
+            vel: (0..3 * n)
+                .map(|i| -(rank as f64 * 1e6 + i as f64))
+                .collect(),
+        }
+    }
+
+    /// One buffer holding [pos..., vel...] so a single memtype can
+    /// describe the interleave-gather.
+    fn buffer(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity((self.pos.len() + self.vel.len()) * 8);
+        for v in self.pos.iter().chain(&self.vel) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// The memtype: for each particle, 3 doubles from the pos array and 3
+/// from the vel array (vel is offset by the whole pos array).
+fn particle_memtype() -> Datatype {
+    let three = Datatype::contiguous(3, &Datatype::double()).unwrap();
+    let vel_base = (PARTICLES_PER_RANK * 3 * 8) as i64;
+    let record = Datatype::struct_type(vec![
+        Field {
+            disp: 0,
+            count: 1,
+            child: three.clone(),
+        },
+        Field {
+            disp: vel_base,
+            count: 1,
+            child: three,
+        },
+    ])
+    .unwrap();
+    // per-particle advance: 24 bytes in each array
+    let record = Datatype::resized(&record, 0, 24).unwrap();
+    Datatype::contiguous(PARTICLES_PER_RANK, &record).unwrap()
+}
+
+/// The filetype: rank `p` owns every RANKS-th record block of 10.
+fn checkpoint_filetype(p: u64) -> (u64, Datatype) {
+    let block = Datatype::basic((REC * 10) as u32); // 10 records per block
+    let v = Datatype::vector(PARTICLES_PER_RANK / 10, 1, RANKS as i64, &block).unwrap();
+    (p * REC * 10, v)
+}
+
+fn checkpoint(engine: Engine, shared: &SharedFile) {
+    World::run(RANKS as usize, |comm| {
+        let me = comm.rank() as u64;
+        let state = State::init(me);
+        let buf = state.buffer();
+        let mt = particle_memtype();
+        let (disp, ft) = checkpoint_filetype(me);
+
+        let mut f = File::open(comm, shared.clone(), Hints::with_engine(engine)).unwrap();
+        f.set_view(disp, Datatype::double(), ft).unwrap();
+        f.write_at_all(0, &buf, 1, &mt).unwrap();
+    });
+}
+
+fn restart(engine: Engine, shared: &SharedFile) {
+    World::run(RANKS as usize, |comm| {
+        let me = comm.rank() as u64;
+        let want = State::init(me);
+        let mt = particle_memtype();
+        let (disp, ft) = checkpoint_filetype(me);
+
+        let mut f = File::open(comm, shared.clone(), Hints::with_engine(engine)).unwrap();
+        f.set_view(disp, Datatype::double(), ft).unwrap();
+        let mut buf = vec![0u8; (PARTICLES_PER_RANK * 6 * 8) as usize];
+        f.read_at_all(0, &mut buf, 1, &mt).unwrap();
+
+        // the restarted state must equal the original
+        let n = want.pos.len();
+        for (i, w) in want.pos.iter().chain(&want.vel).enumerate() {
+            let o = i * 8;
+            let got = f64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
+            assert_eq!(got, *w, "rank {me} value {i} (of {n} pos + vel)");
+        }
+    });
+}
+
+fn main() {
+    let mut images = Vec::new();
+    for engine in [Engine::Listless, Engine::ListBased] {
+        let shared = SharedFile::new(MemFile::new());
+        checkpoint(engine, &shared);
+        restart(engine, &shared);
+        let mut snap = vec![0u8; shared.len() as usize];
+        shared.storage().read_at(0, &mut snap).unwrap();
+        println!(
+            "{engine:?}: checkpointed {} particles x {} ranks = {} KiB, restart verified",
+            PARTICLES_PER_RANK,
+            RANKS,
+            snap.len() / 1024
+        );
+        images.push(snap);
+    }
+    assert_eq!(images[0], images[1], "engines must write identical checkpoints");
+    println!("both engines produced bit-identical checkpoint files");
+
+    // spot-check the record interleaving: record block b belongs to rank b % RANKS
+    let img = &images[0];
+    let rec0 = f64::from_le_bytes(img[0..8].try_into().unwrap());
+    assert_eq!(rec0, 0.0); // rank 0, pos[0]
+    let blk1 = (REC * 10) as usize;
+    let rec1 = f64::from_le_bytes(img[blk1..blk1 + 8].try_into().unwrap());
+    assert_eq!(rec1, 1e6); // rank 1, pos[0]
+    println!("record blocks interleave by rank as designed");
+}
