@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, then the tier-1 gate (see ROADMAP.md).
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "CI OK"

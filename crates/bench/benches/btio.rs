@@ -1,41 +1,40 @@
 //! BTIO (Table 3) benchmark points: one class-S step, both engines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lio_bench::harness::Group;
 use lio_btio::{run, volume_stats, Class, Config, Engine};
 
-fn btio_step(c: &mut Criterion) {
-    let mut g = c.benchmark_group("btio_class_s");
+fn btio_step() {
+    let mut g = Group::new("btio_class_s");
     let vol = volume_stats(Class::S, 2).drun;
-    g.throughput(Throughput::Bytes(vol));
+    g.throughput_bytes(vol);
     g.sample_size(10);
-    for (engine, name) in [(Engine::ListBased, "list_based"), (Engine::Listless, "listless")] {
-        g.bench_with_input(BenchmarkId::new(name, "p4"), &engine, |b, &e| {
-            b.iter(|| {
-                let mut cfg = Config::new(Class::S, 4);
-                cfg.nsteps = 2;
-                cfg.compute_sweeps = 0;
-                cfg.engine = e;
-                run(&cfg)
-            });
-        });
-    }
-    g.finish();
-}
-
-fn btio_compute_only(c: &mut Criterion) {
-    let mut g = c.benchmark_group("btio_no_io");
-    g.sample_size(10);
-    g.bench_function("class_s_p4", |b| {
-        b.iter(|| {
+    for (engine, name) in [
+        (Engine::ListBased, "list_based"),
+        (Engine::Listless, "listless"),
+    ] {
+        g.bench(format!("{name}/p4"), || {
             let mut cfg = Config::new(Class::S, 4);
             cfg.nsteps = 2;
-            cfg.compute_sweeps = 1;
-            cfg.io_enabled = false;
-            run(&cfg)
+            cfg.compute_sweeps = 0;
+            cfg.engine = engine;
+            run(&cfg);
         });
-    });
-    g.finish();
+    }
 }
 
-criterion_group!(benches, btio_step, btio_compute_only);
-criterion_main!(benches);
+fn btio_compute_only() {
+    let mut g = Group::new("btio_no_io");
+    g.sample_size(10);
+    g.bench("class_s_p4", || {
+        let mut cfg = Config::new(Class::S, 4);
+        cfg.nsteps = 2;
+        cfg.compute_sweeps = 1;
+        cfg.io_enabled = false;
+        run(&cfg);
+    });
+}
+
+fn main() {
+    btio_step();
+    btio_compute_only();
+}

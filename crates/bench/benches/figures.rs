@@ -1,9 +1,9 @@
-//! One representative point per paper figure, as criterion benchmarks.
+//! One representative point per paper figure.
 //! The full sweeps (every x-axis value, every series) are produced by the
 //! `repro` binary; these benches track regressions at the most
 //! discriminating points.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lio_bench::harness::Group;
 use lio_core::Engine;
 use lio_noncontig::{run, Access, Config, Pattern};
 
@@ -30,65 +30,68 @@ fn cfg(
     }
 }
 
+const ENGINES: [(Engine, &str); 2] = [
+    (Engine::ListBased, "list_based"),
+    (Engine::Listless, "listless"),
+];
+
 /// Figure 5 point: independent, Nblock = 4096, Sblock = 8, P = 2.
-fn fig5_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_nblock4096");
+fn fig5_point() {
+    let mut g = Group::new("fig5_nblock4096");
     let data = 512u64 << 10;
-    g.throughput(Throughput::Bytes(data));
+    g.throughput_bytes(data);
     g.sample_size(10);
-    for (engine, name) in [(Engine::ListBased, "list_based"), (Engine::Listless, "listless")] {
-        g.bench_with_input(BenchmarkId::new(name, "nc-nc"), &engine, |b, &e| {
-            b.iter(|| run(&cfg(2, 4096, 8, Access::Independent, e, data)));
+    for (engine, name) in ENGINES {
+        g.bench(format!("{name}/nc-nc"), || {
+            run(&cfg(2, 4096, 8, Access::Independent, engine, data));
         });
     }
-    g.finish();
 }
 
 /// Figure 6 point: collective, Nblock = 1024, Sblock = 8, P = 8.
-fn fig6_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_nblock1024");
+fn fig6_point() {
+    let mut g = Group::new("fig6_nblock1024");
     let data = 256u64 << 10;
-    g.throughput(Throughput::Bytes(data));
+    g.throughput_bytes(data);
     g.sample_size(10);
-    for (engine, name) in [(Engine::ListBased, "list_based"), (Engine::Listless, "listless")] {
-        g.bench_with_input(BenchmarkId::new(name, "nc-nc"), &engine, |b, &e| {
-            b.iter(|| run(&cfg(8, 1024, 8, Access::Collective, e, data)));
+    for (engine, name) in ENGINES {
+        g.bench(format!("{name}/nc-nc"), || {
+            run(&cfg(8, 1024, 8, Access::Collective, engine, data));
         });
     }
-    g.finish();
 }
 
 /// Figure 7 crossover points: Sblock = 8 vs 4096 (independent).
-fn fig7_points(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_sblock");
+fn fig7_points() {
+    let mut g = Group::new("fig7_sblock");
     let data = 512u64 << 10;
-    g.throughput(Throughput::Bytes(data));
+    g.throughput_bytes(data);
     g.sample_size(10);
     for sblock in [8u64, 4096] {
-        for (engine, name) in
-            [(Engine::ListBased, "list_based"), (Engine::Listless, "listless")]
-        {
-            g.bench_with_input(BenchmarkId::new(name, sblock), &engine, |b, &e| {
-                b.iter(|| run(&cfg(2, 8, sblock, Access::Independent, e, data)));
+        for (engine, name) in ENGINES {
+            g.bench(format!("{name}/{sblock}"), || {
+                run(&cfg(2, 8, sblock, Access::Independent, engine, data));
             });
         }
     }
-    g.finish();
 }
 
 /// Figure 8 point: collective scaling at P = 4.
-fn fig8_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_p4");
+fn fig8_point() {
+    let mut g = Group::new("fig8_p4");
     let data = 256u64 << 10;
-    g.throughput(Throughput::Bytes(data));
+    g.throughput_bytes(data);
     g.sample_size(10);
-    for (engine, name) in [(Engine::ListBased, "list_based"), (Engine::Listless, "listless")] {
-        g.bench_with_input(BenchmarkId::new(name, "nc-nc"), &engine, |b, &e| {
-            b.iter(|| run(&cfg(4, 64, 2048, Access::Collective, e, data)));
+    for (engine, name) in ENGINES {
+        g.bench(format!("{name}/nc-nc"), || {
+            run(&cfg(4, 64, 2048, Access::Collective, engine, data));
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, fig5_point, fig6_point, fig7_points, fig8_point);
-criterion_main!(benches);
+fn main() {
+    fig5_point();
+    fig6_point();
+    fig7_points();
+    fig8_point();
+}

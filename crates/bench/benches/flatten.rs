@@ -2,50 +2,39 @@
 //! compact encoding exchanged by fileview caching — the paper's
 //! memory-consumption and creation-time overheads (Section 2.1 / 2.4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lio_bench::harness::Group;
 use lio_datatype::{serialize, Datatype, OlList};
 use std::hint::black_box;
 
-fn bench_flatten(c: &mut Criterion) {
-    let mut g = c.benchmark_group("flatten");
+fn bench_flatten() {
+    let mut g = Group::new("flatten");
+    g.sample_size(20);
     for nblock in [64u64, 1024, 16384, 262144] {
         let d = Datatype::vector(nblock, 1, 2, &Datatype::double()).unwrap();
 
         // ROMIO's explicit flattening at set_view: O(Nblock)
-        g.bench_with_input(
-            BenchmarkId::new("ol_list_create", nblock),
-            &nblock,
-            |b, _| {
-                b.iter(|| OlList::flatten(black_box(&d), 1));
-            },
-        );
+        g.bench(format!("ol_list_create/{nblock}"), || {
+            black_box(OlList::flatten(black_box(&d), 1));
+        });
 
         // the listless equivalent: encode the compact tree (O(tree size))
-        g.bench_with_input(
-            BenchmarkId::new("compact_encode", nblock),
-            &nblock,
-            |b, _| {
-                b.iter(|| serialize::encode(black_box(&d)));
-            },
-        );
+        g.bench(format!("compact_encode/{nblock}"), || {
+            black_box(serialize::encode(black_box(&d)));
+        });
 
         // and decode (the receiving side of fileview caching)
         let bytes = serialize::encode(&d);
-        g.bench_with_input(
-            BenchmarkId::new("compact_decode", nblock),
-            &nblock,
-            |b, _| {
-                b.iter(|| serialize::decode(black_box(&bytes)).unwrap());
-            },
-        );
+        g.bench(format!("compact_decode/{nblock}"), || {
+            black_box(serialize::decode(black_box(&bytes)).unwrap());
+        });
     }
-    g.finish();
 }
 
 /// The collective-write list merge (O(Σ Nblock)) vs the mergeview
 /// coverage test (O(depth)).
-fn bench_merge(c: &mut Criterion) {
-    let mut g = c.benchmark_group("merge");
+fn bench_merge() {
+    let mut g = Group::new("merge");
+    g.sample_size(20);
     for nblock in [1024u64, 16384] {
         // 4 interleaved single-strided views, as 4 ranks produce
         let lists: Vec<OlList> = (0..4)
@@ -58,16 +47,10 @@ fn bench_merge(c: &mut Criterion) {
                 l
             })
             .collect();
-        g.bench_with_input(
-            BenchmarkId::new("ol_list_merge", nblock),
-            &nblock,
-            |b, _| {
-                b.iter(|| {
-                    let refs: Vec<&OlList> = lists.iter().collect();
-                    OlList::merge_lists(black_box(&refs))
-                });
-            },
-        );
+        g.bench(format!("ol_list_merge/{nblock}"), || {
+            let refs: Vec<&OlList> = lists.iter().collect();
+            black_box(OlList::merge_lists(black_box(&refs)));
+        });
 
         // the mergeview answer to the same question
         let fields: Vec<lio_datatype::Field> = (0..4)
@@ -79,22 +62,16 @@ fn bench_merge(c: &mut Criterion) {
             .collect();
         let merge = Datatype::struct_type(fields).unwrap();
         let span = merge.extent();
-        g.bench_with_input(
-            BenchmarkId::new("mergeview_coverage", nblock),
-            &nblock,
-            |b, _| {
-                b.iter(|| {
-                    lio_datatype::bytes_below_tiled(black_box(&merge), span as i64)
-                });
-            },
-        );
+        g.bench(format!("mergeview_coverage/{nblock}"), || {
+            black_box(lio_datatype::bytes_below_tiled(
+                black_box(&merge),
+                span as i64,
+            ));
+        });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_flatten, bench_merge
+fn main() {
+    bench_flatten();
+    bench_merge();
 }
-criterion_main!(benches);

@@ -5,57 +5,46 @@
 //! (`ff_offset`/`ff_size`, Section 3.2.1) costs `O(depth)` regardless of
 //! the block count. This is the crate's clearest asymptotic separation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lio_bench::harness::Group;
 use lio_datatype::{bytes_below_tiled, ff_offset, ff_size, Datatype, OlList};
 use std::hint::black_box;
 
-fn bench_navigate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("navigate");
+fn bench_navigate() {
+    let mut g = Group::new("navigate");
+    g.sample_size(30);
     for nblock in [64u64, 1024, 16384, 262144] {
         let d = Datatype::vector(nblock, 1, 2, &Datatype::double()).unwrap();
         let ol = OlList::flatten(&d, 1);
         let mid = d.size() / 2;
 
-        g.bench_with_input(
-            BenchmarkId::new("list_linear_offset", nblock),
-            &nblock,
-            |b, _| {
-                b.iter(|| ol.offset_of(black_box(mid)));
-            },
-        );
+        g.bench(format!("list_linear_offset/{nblock}"), || {
+            black_box(ol.offset_of(black_box(mid)));
+        });
 
-        g.bench_with_input(BenchmarkId::new("ff_offset", nblock), &nblock, |b, _| {
-            b.iter(|| ff_offset(black_box(&d), black_box(mid)));
+        g.bench(format!("ff_offset/{nblock}"), || {
+            black_box(ff_offset(black_box(&d), black_box(mid)));
         });
 
         let lo = 0i64;
         let hi = d.extent() as i64 / 2;
-        g.bench_with_input(
-            BenchmarkId::new("list_size_in_window", nblock),
-            &nblock,
-            |b, _| {
-                b.iter(|| ol.size_in_window(black_box(lo), black_box(hi)));
-            },
-        );
-
-        g.bench_with_input(BenchmarkId::new("ff_size", nblock), &nblock, |b, _| {
-            b.iter(|| ff_size(black_box(&d), 0, black_box(hi as u64)));
+        g.bench(format!("list_size_in_window/{nblock}"), || {
+            black_box(ol.size_in_window(black_box(lo), black_box(hi)));
         });
 
-        g.bench_with_input(
-            BenchmarkId::new("ff_bytes_below", nblock),
-            &nblock,
-            |b, _| {
-                b.iter(|| bytes_below_tiled(black_box(&d), black_box(hi)));
-            },
-        );
+        g.bench(format!("ff_size/{nblock}"), || {
+            black_box(ff_size(black_box(&d), 0, black_box(hi as u64)));
+        });
+
+        g.bench(format!("ff_bytes_below/{nblock}"), || {
+            black_box(bytes_below_tiled(black_box(&d), black_box(hi)));
+        });
     }
-    g.finish();
 }
 
 /// Navigation on a deep nested type (depth dominates).
-fn bench_navigate_nested(c: &mut Criterion) {
-    let mut g = c.benchmark_group("navigate_nested");
+fn bench_navigate_nested() {
+    let mut g = Group::new("navigate_nested");
+    g.sample_size(30);
     let mut d = Datatype::double();
     for _ in 0..8 {
         d = Datatype::vector(2, 1, 2, &d).unwrap();
@@ -63,18 +52,15 @@ fn bench_navigate_nested(c: &mut Criterion) {
     // depth 9, 256 leaf blocks
     let ol = OlList::flatten(&d, 1);
     let mid = d.size() / 2;
-    g.bench_function("list_linear_offset", |b| {
-        b.iter(|| ol.offset_of(black_box(mid)));
+    g.bench("list_linear_offset", || {
+        black_box(ol.offset_of(black_box(mid)));
     });
-    g.bench_function("ff_offset", |b| {
-        b.iter(|| ff_offset(black_box(&d), black_box(mid)));
+    g.bench("ff_offset", || {
+        black_box(ff_offset(black_box(&d), black_box(mid)));
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_navigate, bench_navigate_nested
+fn main() {
+    bench_navigate();
+    bench_navigate_nested();
 }
-criterion_main!(benches);

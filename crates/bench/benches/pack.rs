@@ -1,81 +1,72 @@
 //! Pack/unpack micro-benchmarks: flattening-on-the-fly vs ol-list walking
 //! vs the raw memcpy ceiling (the paper's copy-time overhead, Section 2.1).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lio_bench::harness::Group;
 use lio_datatype::{ff_pack, ff_unpack, Datatype, OlList};
 use std::hint::black_box;
 
 /// Pack 1 MiB of data through vectors of varying block size.
-fn bench_pack(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pack");
+fn bench_pack() {
+    let mut g = Group::new("pack");
+    g.sample_size(20);
     for sblock in [8u64, 64, 512, 4096] {
         let nblock = (1 << 20) / sblock;
         let d = Datatype::vector(nblock, 1, 2, &Datatype::basic(sblock as u32)).unwrap();
         let src = vec![0xA5u8; d.extent() as usize];
         let total = d.size() as usize;
         let mut out = vec![0u8; total];
-        g.throughput(Throughput::Bytes(total as u64));
+        g.throughput_bytes(total as u64);
 
-        g.bench_with_input(BenchmarkId::new("listless_ff", sblock), &sblock, |b, _| {
-            b.iter(|| ff_pack(black_box(&src), 1, &d, 0, black_box(&mut out)));
+        g.bench(format!("listless_ff/{sblock}"), || {
+            ff_pack(black_box(&src), 1, &d, 0, black_box(&mut out));
         });
 
         let ol = OlList::flatten(&d, 1);
-        g.bench_with_input(BenchmarkId::new("list_based_ol", sblock), &sblock, |b, _| {
-            b.iter(|| ol.pack(black_box(&src), 0, black_box(&mut out)));
+        g.bench(format!("list_based_ol/{sblock}"), || {
+            ol.pack(black_box(&src), 0, black_box(&mut out));
         });
 
         // the per-access flattening the list-based engine performs for
         // memtypes (list creation + pack + drop)
-        g.bench_with_input(
-            BenchmarkId::new("list_based_flatten_and_pack", sblock),
-            &sblock,
-            |b, _| {
-                b.iter(|| {
-                    let ol = OlList::flatten(black_box(&d), 1);
-                    ol.pack(black_box(&src), 0, black_box(&mut out))
-                });
-            },
-        );
+        g.bench(format!("list_based_flatten_and_pack/{sblock}"), || {
+            let ol = OlList::flatten(black_box(&d), 1);
+            ol.pack(black_box(&src), 0, black_box(&mut out));
+        });
 
-        g.bench_with_input(
-            BenchmarkId::new("memcpy_ceiling", sblock),
-            &sblock,
-            |b, _| {
-                b.iter(|| out.copy_from_slice(black_box(&src[..total])));
-            },
-        );
+        g.bench(format!("memcpy_ceiling/{sblock}"), || {
+            out.copy_from_slice(black_box(&src[..total]));
+        });
     }
-    g.finish();
 }
 
 /// Unpack mirror of the pack benchmark.
-fn bench_unpack(c: &mut Criterion) {
-    let mut g = c.benchmark_group("unpack");
+fn bench_unpack() {
+    let mut g = Group::new("unpack");
+    g.sample_size(20);
     for sblock in [8u64, 512] {
         let nblock = (1 << 20) / sblock;
         let d = Datatype::vector(nblock, 1, 2, &Datatype::basic(sblock as u32)).unwrap();
         let total = d.size() as usize;
         let packed = vec![0x5Au8; total];
         let mut dst = vec![0u8; d.extent() as usize];
-        g.throughput(Throughput::Bytes(total as u64));
+        g.throughput_bytes(total as u64);
 
-        g.bench_with_input(BenchmarkId::new("listless_ff", sblock), &sblock, |b, _| {
-            b.iter(|| ff_unpack(black_box(&packed), black_box(&mut dst), 1, &d, 0));
+        g.bench(format!("listless_ff/{sblock}"), || {
+            ff_unpack(black_box(&packed), black_box(&mut dst), 1, &d, 0);
         });
 
         let ol = OlList::flatten(&d, 1);
-        g.bench_with_input(BenchmarkId::new("list_based_ol", sblock), &sblock, |b, _| {
-            b.iter(|| ol.unpack(black_box(&packed), black_box(&mut dst), 0));
+        g.bench(format!("list_based_ol/{sblock}"), || {
+            ol.unpack(black_box(&packed), black_box(&mut dst), 0);
         });
     }
-    g.finish();
 }
 
 /// Pack through a deep nested type (no strided fast path): the generic
 /// FlatIter path vs the ol-list.
-fn bench_pack_nested(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pack_nested");
+fn bench_pack_nested() {
+    let mut g = Group::new("pack_nested");
+    g.sample_size(20);
     // 3D subarray: does not reduce to a single strided level
     let d = Datatype::subarray(
         &[64, 64, 64],
@@ -88,20 +79,18 @@ fn bench_pack_nested(c: &mut Criterion) {
     let src = vec![1u8; d.extent() as usize];
     let total = d.size() as usize;
     let mut out = vec![0u8; total];
-    g.throughput(Throughput::Bytes(total as u64));
-    g.bench_function("listless_ff", |b| {
-        b.iter(|| ff_pack(black_box(&src), 1, &d, 0, black_box(&mut out)));
+    g.throughput_bytes(total as u64);
+    g.bench("listless_ff", || {
+        ff_pack(black_box(&src), 1, &d, 0, black_box(&mut out));
     });
     let ol = OlList::flatten(&d, 1);
-    g.bench_function("list_based_ol", |b| {
-        b.iter(|| ol.pack(black_box(&src), 0, black_box(&mut out)));
+    g.bench("list_based_ol", || {
+        ol.pack(black_box(&src), 0, black_box(&mut out));
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_pack, bench_unpack, bench_pack_nested
+fn main() {
+    bench_pack();
+    bench_unpack();
+    bench_pack_nested();
 }
-criterion_main!(benches);

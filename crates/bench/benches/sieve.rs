@@ -2,7 +2,7 @@
 //! sieving-buffer-size ablation (one of the design choices DESIGN.md
 //! calls out).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lio_bench::harness::Group;
 use lio_core::{File, Hints, SharedFile};
 use lio_datatype::Datatype;
 use lio_mpi::World;
@@ -21,50 +21,42 @@ fn write_once(hints: Hints, nblock: u64, sblock: u64) {
     });
 }
 
-fn bench_sieve_engines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sieve_write");
+fn bench_sieve_engines() {
+    let mut g = Group::new("sieve_write");
+    g.sample_size(10);
     let total = 1u64 << 20;
     for sblock in [8u64, 512] {
         let nblock = total / sblock;
-        g.throughput(Throughput::Bytes(total));
-        g.bench_with_input(
-            BenchmarkId::new("list_based", sblock),
-            &sblock,
-            |b, _| b.iter(|| write_once(Hints::list_based(), nblock, sblock)),
-        );
-        g.bench_with_input(BenchmarkId::new("listless", sblock), &sblock, |b, _| {
-            b.iter(|| write_once(Hints::listless(), nblock, sblock))
+        g.throughput_bytes(total);
+        g.bench(format!("list_based/{sblock}"), || {
+            write_once(Hints::list_based(), nblock, sblock)
+        });
+        g.bench(format!("listless/{sblock}"), || {
+            write_once(Hints::listless(), nblock, sblock)
         });
     }
-    g.finish();
 }
 
 /// Ablation: how the sieving buffer size trades file accesses against
 /// list-navigation work.
-fn bench_sieve_buffer_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sieve_buffer_size");
+fn bench_sieve_buffer_size() {
+    let mut g = Group::new("sieve_buffer_size");
+    g.sample_size(10);
     let total = 1u64 << 20;
     let sblock = 64u64;
     let nblock = total / sblock;
     for bufsize in [16usize << 10, 128 << 10, 1 << 20, 8 << 20] {
-        g.throughput(Throughput::Bytes(total));
-        g.bench_with_input(
-            BenchmarkId::new("listless", bufsize),
-            &bufsize,
-            |b, &bs| b.iter(|| write_once(Hints::listless().ind_buffer(bs), nblock, sblock)),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("list_based", bufsize),
-            &bufsize,
-            |b, &bs| b.iter(|| write_once(Hints::list_based().ind_buffer(bs), nblock, sblock)),
-        );
+        g.throughput_bytes(total);
+        g.bench(format!("listless/{bufsize}"), || {
+            write_once(Hints::listless().ind_buffer(bufsize), nblock, sblock)
+        });
+        g.bench(format!("list_based/{bufsize}"), || {
+            write_once(Hints::list_based().ind_buffer(bufsize), nblock, sblock)
+        });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sieve_engines, bench_sieve_buffer_size
+fn main() {
+    bench_sieve_engines();
+    bench_sieve_buffer_size();
 }
-criterion_main!(benches);

@@ -3,6 +3,7 @@
 //! ```text
 //! repro fig5 [--quick] [--data BYTES]
 //! repro fig6 | fig7 | fig8 | table1 | table2 | table3 | overheads | all
+//! repro metrics
 //! ```
 //!
 //! Each experiment prints the paper's rows/series and writes a CSV under
@@ -10,6 +11,12 @@
 //! (see DESIGN.md); the *shape* — who wins, by what factor, where the
 //! crossovers fall — is the reproduction target recorded in
 //! EXPERIMENTS.md.
+//!
+//! `repro metrics` runs one collective write + read per engine with the
+//! `lio-obs` registry recording and dumps the full cross-layer metric
+//! snapshots as JSON (`results/metrics.json` and `BENCH_metrics.json`):
+//! file accesses, bytes moved, exchange-phase bytes (list metadata vs
+//! data), and the per-phase two-phase timing breakdown.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -58,6 +65,7 @@ fn main() {
         "ablation" => ablation(&opts),
         "throttle" => throttle(&opts),
         "tileio" => tileio(&opts),
+        "metrics" => metrics(&opts),
         "all" => {
             fig5(&opts);
             fig6(&opts);
@@ -71,6 +79,7 @@ fn main() {
             ablation(&opts);
             throttle(&opts);
             tileio(&opts);
+            metrics(&opts);
         }
         _ => usage(),
     }
@@ -78,7 +87,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro fig5|fig6|fig7|fig8|table1|table2|table3|overheads|multidim|ablation|throttle|tileio|all \
+        "usage: repro fig5|fig6|fig7|fig8|table1|table2|table3|overheads|multidim|ablation|throttle|tileio|metrics|all \
          [--quick] [--data BYTES]"
     );
     std::process::exit(2);
@@ -300,13 +309,7 @@ fn table2() {
         for p in [4usize, 9, 16, 25] {
             let d = lio_btio::Decomp::new(class.n(), p).expect("square P");
             let (nblock, sblock) = d.access_pattern(0);
-            println!(
-                "{:>6} {:>4} {:>8} {:>8.0}",
-                class.name(),
-                p,
-                nblock,
-                sblock
-            );
+            println!("{:>6} {:>4} {:>8} {:>8.0}", class.name(), p, nblock, sblock);
             writeln!(csv, "{},{p},{nblock},{sblock:.0}", class.name()).unwrap();
         }
     }
@@ -336,9 +339,7 @@ fn table3(opts: &Opts) {
     // one pre-faulted output file for every run of a configuration so no
     // engine pays allocation/page-reclaim costs the other skipped
     let reps = if opts.quick { 1 } else { 2 };
-    let best = |cfg: &lio_btio::Config,
-                shared: &lio_core::SharedFile|
-     -> lio_btio::RunResult {
+    let best = |cfg: &lio_btio::Config, shared: &lio_core::SharedFile| -> lio_btio::RunResult {
         let mut best = lio_btio::run_on(cfg, shared.clone());
         for _ in 1..reps {
             let r = lio_btio::run_on(cfg, shared.clone());
@@ -470,7 +471,10 @@ fn multidim(opts: &Opts) {
     let procs = 4usize;
     println!("# multidim: collective 3D subarray writes, N={n}, P={procs} (outlook experiment)");
     let mut csv = String::from("split,engine,write_mbs\n");
-    println!("{:<18} {:<11} {:>12}", "decomposition", "engine", "write MB/s");
+    println!(
+        "{:<18} {:<11} {:>12}",
+        "decomposition", "engine", "write MB/s"
+    );
     // three ways to cut the same cube among 4 ranks: z-slabs (large
     // contiguous rows), y-slabs (strided rows), x-columns (tiny blocks)
     let splits: [(&str, [u64; 3]); 3] = [
@@ -527,7 +531,9 @@ fn multidim(opts: &Opts) {
 /// collective buffer size and the number of io-processes, at the
 /// figure-6 operating point (collective nc-nc, small blocks).
 fn ablation(opts: &Opts) {
-    let data = opts.data.unwrap_or(if opts.quick { 256 << 10 } else { 1 << 20 });
+    let data = opts
+        .data
+        .unwrap_or(if opts.quick { 256 << 10 } else { 1 << 20 });
     let base = Config {
         nprocs: 4,
         nblock: 1024,
@@ -589,7 +595,10 @@ fn iop_point(engine: Engine, cb_nodes: usize, data: u64) -> (f64, f64) {
     let count = (data / (nblock * sblock)).max(1);
     let total = count * nblock * sblock;
     let shared = SharedFile::new(MemFile::new());
-    shared.storage().set_len(total * nprocs as u64).expect("prefault");
+    shared
+        .storage()
+        .set_len(total * nprocs as u64)
+        .expect("prefault");
     let hints = Hints::with_engine(engine).io_nodes(cb_nodes);
     let mut best = (f64::INFINITY, f64::INFINITY);
     for _ in 0..3 {
@@ -602,13 +611,15 @@ fn iop_point(engine: Engine, cb_nodes: usize, data: u64) -> (f64, f64) {
             let data_buf = vec![me as u8; total as usize];
             comm.barrier();
             let t = Instant::now();
-            f.write_at_all(0, &data_buf, total, &Datatype::byte()).expect("write");
+            f.write_at_all(0, &data_buf, total, &Datatype::byte())
+                .expect("write");
             comm.barrier();
             let w = comm.allmax_f64(t.elapsed().as_secs_f64());
             let mut back = vec![0u8; total as usize];
             comm.barrier();
             let t = Instant::now();
-            f.read_at_all(0, &mut back, total, &Datatype::byte()).expect("read");
+            f.read_at_all(0, &mut back, total, &Datatype::byte())
+                .expect("read");
             comm.barrier();
             let r = comm.allmax_f64(t.elapsed().as_secs_f64());
             (w, r)
@@ -630,7 +641,9 @@ fn throttle(opts: &Opts) {
     use lio_pfs::{MemFile, Throttle, ThrottledFile};
     use std::time::Instant;
 
-    let data = opts.data.unwrap_or(if opts.quick { 128 << 10 } else { 512 << 10 });
+    let data = opts
+        .data
+        .unwrap_or(if opts.quick { 128 << 10 } else { 512 << 10 });
     let nprocs = 4usize;
     let nblock = 1024u64;
     let sblock = 8u64;
@@ -651,7 +664,10 @@ fn throttle(opts: &Opts) {
                 None => SharedFile::new(MemFile::new()),
                 Some(t) => SharedFile::new(ThrottledFile::new(MemFile::new(), t)),
             };
-            shared.storage().set_len(total * nprocs as u64).expect("prefault");
+            shared
+                .storage()
+                .set_len(total * nprocs as u64)
+                .expect("prefault");
             let hints = Hints::with_engine(engine);
             let mut best = f64::INFINITY;
             let reps = if sname == "nfs-like" { 1 } else { 2 };
@@ -665,7 +681,8 @@ fn throttle(opts: &Opts) {
                     let data_buf = vec![me as u8; total as usize];
                     comm.barrier();
                     let t = Instant::now();
-                    f.write_at_all(0, &data_buf, total, &Datatype::byte()).expect("write");
+                    f.write_at_all(0, &data_buf, total, &Datatype::byte())
+                        .expect("write");
                     comm.barrier();
                     comm.allmax_f64(t.elapsed().as_secs_f64())
                 })[0];
@@ -677,6 +694,74 @@ fn throttle(opts: &Opts) {
         }
     }
     save("results/throttle.csv", &csv);
+}
+
+/// One instrumented collective write + read per engine, full `lio-obs`
+/// snapshot each. The JSON answers, per engine: how many file accesses
+/// and bytes the storage layer saw (`pfs.*`, via a [`CountingFile`]
+/// wrapper), how many bytes crossed the exchange phase and how much of
+/// that was ol-list metadata (`core.coll.exchange.*`, `mpi.*`), how many
+/// blocks the pack/unpack machinery copied (`dt.*`), and how the wall
+/// time of the collective split into exchange / file I/O / pack phases
+/// (`core.coll.*_ns`).
+fn metrics(opts: &Opts) {
+    use lio_core::{File, Hints, SharedFile};
+    use lio_datatype::Datatype;
+    use lio_mpi::World;
+    use lio_pfs::{CountingFile, MemFile};
+
+    let nprocs = 4usize;
+    let nblock: u64 = if opts.quick { 256 } else { 1024 };
+    let sblock: u64 = 8;
+    let count = 16u64;
+    let total = count * nblock * sblock;
+    println!(
+        "# metrics: instrumented collective write+read (P={nprocs}, Nblock={nblock}, Sblock={sblock})"
+    );
+
+    // Consume the one-shot LIO_OBS env check up front: this subcommand is
+    // meaningless without recording, so its explicit enable must win over
+    // the env var that File::open would otherwise apply mid-run.
+    lio_obs::init_from_env();
+
+    let mut json = String::from("{\n");
+    for (i, (engine, ename)) in ENGINES.iter().enumerate() {
+        lio_obs::reset();
+        lio_obs::set_enabled(true);
+        let shared = SharedFile::new(CountingFile::new(MemFile::new()));
+        let hints = Hints::with_engine(*engine);
+        let shared2 = shared.clone();
+        World::run(nprocs, move |comm| {
+            let me = comm.rank() as u64;
+            let ft = lio_noncontig::figure4_filetype(me, nprocs as u64, nblock, sblock);
+            let mut f = File::open(comm, shared2.clone(), hints).expect("open");
+            f.set_view(0, Datatype::byte(), ft).expect("set_view");
+            let data = vec![me as u8 + 1; total as usize];
+            f.write_at_all(0, &data, total, &Datatype::byte())
+                .expect("write");
+            let mut back = vec![0u8; total as usize];
+            f.read_at_all(0, &mut back, total, &Datatype::byte())
+                .expect("read");
+            assert_eq!(back, data, "read-back mismatch");
+        });
+        lio_obs::set_enabled(false);
+        let snap = lio_obs::snapshot();
+        let key = ename.replace('-', "_");
+        println!(
+            "  {ename}: {} file accesses, {} B written, {} B list metadata, {} B exchange data",
+            snap.counter("pfs.read.calls") + snap.counter("pfs.write.calls"),
+            snap.counter("pfs.write.bytes"),
+            snap.counter("core.coll.exchange.list_bytes"),
+            snap.counter("core.coll.exchange.data_bytes"),
+        );
+        let sep = if i + 1 < ENGINES.len() { "," } else { "" };
+        writeln!(json, "  \"{key}\": {}{sep}", snap.to_json()).unwrap();
+    }
+    json.push_str("}\n");
+    fs::write("results/metrics.json", &json).expect("write metrics json");
+    println!("  -> results/metrics.json");
+    fs::write("BENCH_metrics.json", &json).expect("write BENCH_metrics.json");
+    println!("  -> BENCH_metrics.json");
 }
 
 /// The tile-I/O kernel of the paper's related work \[1\] (Ching et al.):
@@ -704,7 +789,12 @@ fn tileio(opts: &Opts) {
                 "{:>10} {:<11} {:>12.2} {:>12.2}",
                 elem_size, ename, r.write_bpp, r.read_bpp
             );
-            writeln!(csv, "{elem_size},{ename},{:.3},{:.3}", r.write_bpp, r.read_bpp).unwrap();
+            writeln!(
+                csv,
+                "{elem_size},{ename},{:.3},{:.3}",
+                r.write_bpp, r.read_bpp
+            )
+            .unwrap();
         }
     }
     save("results/tileio.csv", &csv);

@@ -1,8 +1,12 @@
 //! # lio-bench — benchmark harness
 //!
-//! Criterion micro-benchmarks (pack, flatten, navigate, sieve) plus the
-//! `repro` runner that regenerates every figure and table of the paper.
-//! See the `repro` binary for the experiment index.
+//! Self-contained micro-benchmarks (pack, flatten, navigate, sieve, ...)
+//! plus the `repro` runner that regenerates every figure and table of the
+//! paper. The [`harness`] module is a minimal timing loop standing in for
+//! an external bench framework: calibrated batch sizes, median-of-samples
+//! reporting, and throughput lines, with no dependencies.
+
+pub mod harness;
 
 /// Format a byte count the way the paper's axes do (8, 64, 1 k, 16 k...).
 pub fn human_bytes(n: u64) -> String {

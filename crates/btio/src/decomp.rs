@@ -141,10 +141,7 @@ mod tests {
                     for z in cell.start[0]..cell.start[0] + cell.size[0] {
                         for y in cell.start[1]..cell.start[1] + cell.size[1] {
                             for x in cell.start[2]..cell.start[2] + cell.size[2] {
-                                assert!(
-                                    seen.insert((z, y, x)),
-                                    "point ({z},{y},{x}) owned twice"
-                                );
+                                assert!(seen.insert((z, y, x)), "point ({z},{y},{x}) owned twice");
                             }
                         }
                     }

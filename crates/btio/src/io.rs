@@ -27,14 +27,8 @@ pub fn filetype(d: &Decomp, p: usize) -> Datatype {
         .map(|cell| Field {
             disp: 0,
             count: 1,
-            child: Datatype::subarray(
-                &[n, n, n],
-                &cell.size,
-                &cell.start,
-                Order::C,
-                &elem,
-            )
-            .expect("cell subarray"),
+            child: Datatype::subarray(&[n, n, n], &cell.size, &cell.start, Order::C, &elem)
+                .expect("cell subarray"),
         })
         .collect();
     let merged = Datatype::struct_type(fields).expect("filetype struct");
@@ -55,14 +49,8 @@ pub fn memtype(grid: &Grid) -> Datatype {
             Field {
                 disp: base as i64 * 8,
                 count: 1,
-                child: Datatype::subarray(
-                    &pd,
-                    &cell.size,
-                    &[GHOST, GHOST, GHOST],
-                    Order::C,
-                    &elem,
-                )
-                .expect("cell interior subarray"),
+                child: Datatype::subarray(&pd, &cell.size, &[GHOST, GHOST, GHOST], Order::C, &elem)
+                    .expect("cell interior subarray"),
             }
         })
         .collect();

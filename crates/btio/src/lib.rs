@@ -217,7 +217,8 @@ pub fn run_on(cfg: &Config, shared: SharedFile) -> RunResult {
             comm.barrier();
             let t_rd = Instant::now();
             let last = (cfg2.nsteps as u64 - 1) * step_etypes;
-            f.read_at_all(last, &mut scratch, 1, &mt).expect("read_at_all");
+            f.read_at_all(last, &mut scratch, 1, &mt)
+                .expect("read_at_all");
             read_secs = comm.allmax_f64(t_rd.elapsed().as_secs_f64());
             // compare at the memtype's data positions only
             let mine = grid.bytes();

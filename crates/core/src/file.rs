@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use lio_datatype::Datatype;
 use lio_mpi::Comm;
+use lio_obs::LazyHistogram;
 use lio_pfs::{RangeLock, StorageFile};
 
 use crate::error::{IoError, Result};
@@ -12,6 +13,15 @@ use crate::packer::MemPacker;
 use crate::sieve;
 use crate::twophase::{self, CollState};
 use crate::view::{FfNav, FileView, ListNav, ViewNav};
+
+// Per-operation wall-time spans (nanoseconds), one histogram per entry
+// point. Each call contributes one sample, so `count` is the number of
+// operations and `sum` the total time spent in them on this process.
+static OBS_WRITE_AT_NS: LazyHistogram = LazyHistogram::new("core.write_at.ns");
+static OBS_READ_AT_NS: LazyHistogram = LazyHistogram::new("core.read_at.ns");
+static OBS_WRITE_ALL_NS: LazyHistogram = LazyHistogram::new("core.write_at_all.ns");
+static OBS_READ_ALL_NS: LazyHistogram = LazyHistogram::new("core.read_at_all.ns");
+static OBS_SET_VIEW_NS: LazyHistogram = LazyHistogram::new("core.set_view.ns");
 
 /// The state shared by all ranks that open the same file: the storage
 /// backend and the byte-range lock protecting data-sieving writes.
@@ -101,6 +111,10 @@ impl<'c> File<'c> {
     /// Open the file collectively. Every rank of `comm` must call this
     /// with the same `shared` file and equivalent hints.
     pub fn open(comm: &'c Comm, shared: SharedFile, hints: Hints) -> Result<File<'c>> {
+        lio_obs::init_from_env();
+        if let Some(on) = hints.obs {
+            lio_obs::set_enabled(on);
+        }
         let view = FileView::bytes();
         let nav = Self::make_nav(view.clone(), hints.engine);
         let coll = twophase::establish_view(comm, &view, hints.engine)?;
@@ -125,6 +139,7 @@ impl<'c> File<'c> {
     /// Establish a fileview (collective; resets the file pointer, as
     /// `MPI_File_set_view` does). Each rank may pass a different view.
     pub fn set_view(&mut self, disp: u64, etype: Datatype, filetype: Datatype) -> Result<()> {
+        let _span = OBS_SET_VIEW_NS.span();
         let view = FileView::new(disp, etype, filetype)?;
         self.coll = twophase::establish_view(self.comm, &view, self.hints.engine)?;
         self.nav = Self::make_nav(view, self.hints.engine);
@@ -194,13 +209,8 @@ impl<'c> File<'c> {
 
     /// Independent write of `count` instances of `memtype` from `buf` at
     /// view offset `offset` (etype units). Returns bytes written.
-    pub fn write_at(
-        &self,
-        offset: u64,
-        buf: &[u8],
-        count: u64,
-        memtype: &Datatype,
-    ) -> Result<u64> {
+    pub fn write_at(&self, offset: u64, buf: &[u8], count: u64, memtype: &Datatype) -> Result<u64> {
+        let _span = OBS_WRITE_AT_NS.span();
         let (stream_start, total) = self.stream_params(offset, count, memtype);
         let packer = self.packer(memtype, count, buf.len())?;
         let _atomic_guard = self
@@ -229,6 +239,7 @@ impl<'c> File<'c> {
         count: u64,
         memtype: &Datatype,
     ) -> Result<u64> {
+        let _span = OBS_READ_AT_NS.span();
         let (stream_start, total) = self.stream_params(offset, count, memtype);
         let packer = self.packer(memtype, count, buf.len())?;
         let _atomic_guard = self
@@ -268,6 +279,7 @@ impl<'c> File<'c> {
         count: u64,
         memtype: &Datatype,
     ) -> Result<u64> {
+        let _span = OBS_WRITE_ALL_NS.span();
         let (stream_start, total) = self.stream_params(offset, count, memtype);
         let packer = self.packer(memtype, count, buf.len())?;
         twophase::write_at_all(
@@ -291,6 +303,7 @@ impl<'c> File<'c> {
         count: u64,
         memtype: &Datatype,
     ) -> Result<u64> {
+        let _span = OBS_READ_ALL_NS.span();
         let (stream_start, total) = self.stream_params(offset, count, memtype);
         let packer = self.packer(memtype, count, buf.len())?;
         twophase::read_at_all(
@@ -382,7 +395,9 @@ impl<'c> File<'c> {
 
     /// The shared file pointer's current value (etype units).
     pub fn tell_shared(&self) -> u64 {
-        self.shared.shared_fp.load(std::sync::atomic::Ordering::SeqCst)
+        self.shared
+            .shared_fp
+            .load(std::sync::atomic::Ordering::SeqCst)
     }
 
     fn etypes_of(&self, count: u64, memtype: &Datatype) -> Result<u64> {

@@ -52,6 +52,10 @@ pub struct Hints {
     /// read-modify-write (ROMIO's list-merge optimization; the listless
     /// engine uses the mergeview instead).
     pub detect_dense_writes: bool,
+    /// Observability: `Some(on)` forces `lio-obs` recording on or off when
+    /// a file is opened with these hints; `None` leaves the process-global
+    /// setting (and the `LIO_OBS` environment variable) in charge.
+    pub obs: Option<bool>,
 }
 
 impl Hints {
@@ -64,6 +68,7 @@ impl Hints {
             cb_nodes: 0,
             sieving: SievingMode::Sieve,
             detect_dense_writes: true,
+            obs: None,
         }
     }
 
@@ -101,6 +106,14 @@ impl Hints {
         self
     }
 
+    /// Force `lio-obs` metrics recording on or off at open time
+    /// (builder style). The default (`None`) defers to
+    /// `lio_obs::set_enabled` / the `LIO_OBS` environment variable.
+    pub fn observability(mut self, on: bool) -> Hints {
+        self.obs = Some(on);
+        self
+    }
+
     /// Resolve `cb_nodes` against the world size.
     pub fn effective_io_nodes(&self, world: usize) -> usize {
         if self.cb_nodes == 0 {
@@ -132,7 +145,10 @@ mod tests {
 
     #[test]
     fn builders() {
-        let h = Hints::list_based().ind_buffer(1024).cb_buffer(2048).io_nodes(2);
+        let h = Hints::list_based()
+            .ind_buffer(1024)
+            .cb_buffer(2048)
+            .io_nodes(2);
         assert_eq!(h.engine, Engine::ListBased);
         assert_eq!(h.ind_buffer_size, 1024);
         assert_eq!(h.cb_buffer_size, 2048);
@@ -156,7 +172,8 @@ impl Hints {
     /// `ind_rd_buffer_size`, `ind_wr_buffer_size` (both map to the single
     /// independent buffer knob; the larger wins), `cb_buffer_size`,
     /// `cb_nodes`, `romio_ds_write` (`enable`/`disable`/`automatic` →
-    /// sieve/direct/auto), `detect_dense_writes` (`true`/`false`).
+    /// sieve/direct/auto), `detect_dense_writes` (`true`/`false`),
+    /// `lio_obs` (`enable`/`disable` — force metrics recording at open).
     ///
     /// ```
     /// use lio_core::{Engine, Hints, SievingMode};
@@ -190,8 +207,7 @@ impl Hints {
                         .max(1);
                 }
                 "cb_nodes" => {
-                    self.cb_nodes =
-                        v.parse().map_err(|_| format!("bad count {v:?} for {k}"))?;
+                    self.cb_nodes = v.parse().map_err(|_| format!("bad count {v:?} for {k}"))?;
                 }
                 "romio_ds_write" | "romio_ds_read" => {
                     self.sieving = match v {
@@ -206,6 +222,13 @@ impl Hints {
                         "true" => true,
                         "false" => false,
                         _ => return Err(format!("bad bool {v:?} for {k}")),
+                    }
+                }
+                "lio_obs" => {
+                    self.obs = match v {
+                        "enable" | "true" | "1" => Some(true),
+                        "disable" | "false" | "0" => Some(false),
+                        _ => return Err(format!("bad setting {v:?} for {k}")),
                     }
                 }
                 _ => {} // unknown keys are ignored, like MPI_Info

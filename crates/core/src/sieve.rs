@@ -13,11 +13,7 @@ use crate::packer::MemPacker;
 use crate::view::ViewNav;
 
 /// Read `storage[offset..]` into `buf`, zero-filling anything past EOF.
-pub(crate) fn read_window(
-    storage: &dyn StorageFile,
-    offset: u64,
-    buf: &mut [u8],
-) -> Result<()> {
+pub(crate) fn read_window(storage: &dyn StorageFile, offset: u64, buf: &mut [u8]) -> Result<()> {
     let n = storage.read_at(offset, buf)?;
     if n < buf.len() {
         buf[n..].fill(0);
@@ -84,12 +80,7 @@ pub fn choose_mode(density: f64, mean_block: f64) -> SievingMode {
 }
 
 /// Resolve `Auto` against the actual access; pass through explicit modes.
-fn resolve_mode(
-    mode: SievingMode,
-    nav: &ViewNav,
-    stream_start: u64,
-    total: u64,
-) -> SievingMode {
+fn resolve_mode(mode: SievingMode, nav: &ViewNav, stream_start: u64, total: u64) -> SievingMode {
     if mode != SievingMode::Auto {
         return mode;
     }
@@ -215,7 +206,9 @@ fn write_sieved(
         let win_len = bufsize.min(end_abs - win_start);
         let fb = &mut filebuf[..win_len as usize];
         // view bytes inside the window, capped to what we still have
-        let n = nav.bytes_in(win_start, win_start + win_len).min(total - done);
+        let n = nav
+            .bytes_in(win_start, win_start + win_len)
+            .min(total - done);
         debug_assert!(n > 0, "window starts at a data byte");
         let nb = n as usize;
         let got = packer.pack(user, done, &mut packbuf[..nb]);
@@ -223,8 +216,7 @@ fn write_sieved(
 
         // in atomic mode the caller already holds the whole access range;
         // taking the window lock again would self-deadlock
-        let _guard =
-            (!whole_range_locked).then(|| lock.lock(win_start..win_start + win_len));
+        let _guard = (!whole_range_locked).then(|| lock.lock(win_start..win_start + win_len));
         // skip the pre-read when the window is fully covered by our data
         let dense = n == win_len;
         if !dense {
@@ -304,7 +296,8 @@ pub(crate) fn read_independent(
                     .bytes_in(win_start, win_start + win_len)
                     .min(total - done);
                 debug_assert!(n > 0);
-                let got = nav.extract_from_window(fb, win_start, stream, &mut packbuf[..n as usize]);
+                let got =
+                    nav.extract_from_window(fb, win_start, stream, &mut packbuf[..n as usize]);
                 debug_assert_eq!(got as u64, n);
                 let put = packer.unpack(&packbuf[..n as usize], user, done);
                 debug_assert_eq!(put as u64, n);

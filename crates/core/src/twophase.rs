@@ -28,14 +28,35 @@
 //! price of a larger transient memory footprint.
 
 use lio_datatype::{bytes_below_tiled, serialize, Datatype, Field};
-use lio_pfs::StorageFile;
 use lio_mpi::Comm;
+use lio_obs::LazyCounter;
+use lio_pfs::StorageFile;
 
 use crate::error::{IoError, Result};
 use crate::hints::{Engine, Hints};
 use crate::packer::MemPacker;
 use crate::sieve::read_window;
 use crate::view::{FfNav, FileView, ViewNav};
+
+// Two-phase breakdown metrics. The `_ns` counters accumulate wall time per
+// phase across all rounds on this process: `exchange_ns` covers AP↔IOP
+// message traffic (sends, receives, the closing barrier), `io_ns` covers
+// storage reads/writes of window buffers, and `pack_ns` covers all
+// pack/unpack/place/extract memory movement. `exchange.list_bytes` counts
+// ol-list metadata shipped (list-based engine only; always 0 for listless —
+// the paper's "16 bytes per tuple" overhead), `exchange.data_bytes` the
+// payload proper.
+static OBS_W_CALLS: LazyCounter = LazyCounter::new("core.coll.write.calls");
+static OBS_W_EXCH_NS: LazyCounter = LazyCounter::new("core.coll.write.exchange_ns");
+static OBS_W_IO_NS: LazyCounter = LazyCounter::new("core.coll.write.io_ns");
+static OBS_W_PACK_NS: LazyCounter = LazyCounter::new("core.coll.write.pack_ns");
+static OBS_R_CALLS: LazyCounter = LazyCounter::new("core.coll.read.calls");
+static OBS_R_EXCH_NS: LazyCounter = LazyCounter::new("core.coll.read.exchange_ns");
+static OBS_R_IO_NS: LazyCounter = LazyCounter::new("core.coll.read.io_ns");
+static OBS_R_PACK_NS: LazyCounter = LazyCounter::new("core.coll.read.pack_ns");
+static OBS_EXCH_LIST_BYTES: LazyCounter = LazyCounter::new("core.coll.exchange.list_bytes");
+static OBS_EXCH_DATA_BYTES: LazyCounter = LazyCounter::new("core.coll.exchange.data_bytes");
+static OBS_WINDOWS: LazyCounter = LazyCounter::new("core.coll.windows");
 
 /// Tag for the ol-list message (list-based engine only).
 const TAG_TP_LIST: u64 = 101;
@@ -218,7 +239,10 @@ fn build_access_list(nav: &ViewNav, s_lo: u64, s_hi: u64, dom: (u64, u64)) -> Ve
         }
         let take = run.len.min(remaining);
         let abs = run.disp as u64;
-        debug_assert!(abs >= dom.0 && abs + take <= dom.1, "run escapes the domain");
+        debug_assert!(
+            abs >= dom.0 && abs + take <= dom.1,
+            "run escapes the domain"
+        );
         out.extend_from_slice(&abs.to_le_bytes());
         out.extend_from_slice(&take.to_le_bytes());
         remaining -= take;
@@ -398,8 +422,16 @@ pub(crate) fn write_at_all(
         ViewNav::List(_) => Engine::ListBased,
         ViewNav::Ff(_) => Engine::Listless,
     };
+    let obs = lio_obs::enabled();
+    if obs {
+        OBS_W_CALLS.incr();
+    }
+    let mut exch_ns = 0u64;
+    let mut pack_ns = 0u64;
     let my_range = access_range(nav, stream_start, total);
+    let t = lio_obs::now();
     let (domains, _ranges) = file_domains(comm, my_range, hints);
+    exch_ns += lio_obs::elapsed_ns(t);
     let stream_end = stream_start + total;
     let naggr = domains.len();
     let me = comm.rank();
@@ -417,7 +449,12 @@ pub(crate) fn write_at_all(
         let n = s_hi - s_lo;
         if engine == Engine::ListBased {
             let list = build_access_list(nav, s_lo, s_hi, dom);
+            if obs {
+                OBS_EXCH_LIST_BYTES.add(list.len() as u64);
+            }
+            let t = lio_obs::now();
             comm.send_vec(i, TAG_TP_LIST, list);
+            exch_ns += lio_obs::elapsed_ns(t);
         }
         let mut msg = Vec::with_capacity(16 + n as usize);
         msg.extend_from_slice(&s_lo.to_le_bytes());
@@ -425,10 +462,17 @@ pub(crate) fn write_at_all(
         let base = msg.len();
         msg.resize(base + n as usize, 0);
         if n > 0 {
+            let t = lio_obs::now();
             let got = packer.pack(user, s_lo - stream_start, &mut msg[base..]);
+            pack_ns += lio_obs::elapsed_ns(t);
             debug_assert_eq!(got as u64, n);
         }
+        if obs {
+            OBS_EXCH_DATA_BYTES.add(n);
+        }
+        let t = lio_obs::now();
         comm.send_vec(i, TAG_TP_DATA, msg);
+        exch_ns += lio_obs::elapsed_ns(t);
     }
 
     // ----- IOP phase ----------------------------------------------------
@@ -437,11 +481,13 @@ pub(crate) fn write_at_all(
         match engine {
             Engine::ListBased => {
                 let mut recv: Vec<RecvList> = Vec::with_capacity(comm.size());
+                let t = lio_obs::now();
                 for p in 0..comm.size() {
                     let list_bytes = comm.recv(p, TAG_TP_LIST);
                     let msg = comm.recv(p, TAG_TP_DATA);
                     recv.push(RecvList::parse(&list_bytes, msg[16..].to_vec())?);
                 }
+                exch_ns += lio_obs::elapsed_ns(t);
                 iop_write_listbased(storage, dom, &mut recv, hints)?;
             }
             Engine::Listless => {
@@ -450,6 +496,7 @@ pub(crate) fn write_at_all(
                     .as_ref()
                     .expect("listless collective requires cached fileviews");
                 let mut placements: Vec<FfPlacement> = Vec::with_capacity(comm.size());
+                let t = lio_obs::now();
                 for (p, nav_p) in navs.iter().enumerate() {
                     let msg = comm.recv(p, TAG_TP_DATA);
                     let s_lo = u64::from_le_bytes(msg[0..8].try_into().expect("s_lo"));
@@ -461,12 +508,19 @@ pub(crate) fn write_at_all(
                         s_hi,
                     });
                 }
+                exch_ns += lio_obs::elapsed_ns(t);
                 iop_write_listless(storage, dom, &mut placements, state, hints)?;
             }
         }
     }
 
+    let t = lio_obs::now();
     comm.barrier();
+    exch_ns += lio_obs::elapsed_ns(t);
+    if obs {
+        OBS_W_EXCH_NS.add(exch_ns);
+        OBS_W_PACK_NS.add(pack_ns);
+    }
     Ok(total)
 }
 
@@ -492,6 +546,10 @@ fn iop_write_listbased(
         Coverage::merge(&refs)
     });
 
+    let obs = lio_obs::enabled();
+    let mut io_ns = 0u64;
+    let mut pack_ns = 0u64;
+    let mut windows = 0u64;
     let cb = hints.cb_buffer_size as u64;
     let mut filebuf = vec![0u8; hints.cb_buffer_size];
     let mut win = lo;
@@ -502,18 +560,28 @@ fn iop_write_listbased(
             .iter()
             .any(|r| r.next_offset().is_some_and(|o| o < win_end));
         if has_data {
-            let dense = coverage
-                .as_mut()
-                .is_some_and(|c| c.covered(win, win_end));
+            windows += 1;
+            let dense = coverage.as_mut().is_some_and(|c| c.covered(win, win_end));
             if !dense {
+                let t = lio_obs::now();
                 read_window(storage, win, fb)?;
+                io_ns += lio_obs::elapsed_ns(t);
             }
+            let t = lio_obs::now();
             for r in recv.iter_mut() {
                 r.place_into(fb, win, win_end);
             }
+            pack_ns += lio_obs::elapsed_ns(t);
+            let t = lio_obs::now();
             storage.write_at(win, fb)?;
+            io_ns += lio_obs::elapsed_ns(t);
         }
         win = win_end;
+    }
+    if obs {
+        OBS_W_IO_NS.add(io_ns);
+        OBS_W_PACK_NS.add(pack_ns);
+        OBS_WINDOWS.add(windows);
     }
     Ok(())
 }
@@ -543,6 +611,10 @@ fn iop_write_listless(
     let lo = lo.max(dom.0);
     let hi = hi.min(dom.1);
 
+    let obs = lio_obs::enabled();
+    let mut io_ns = 0u64;
+    let mut pack_ns = 0u64;
+    let mut windows = 0u64;
     let cb = hints.cb_buffer_size as u64;
     let mut filebuf = vec![0u8; hints.cb_buffer_size];
     // per-AP stream cursor (how far each AP's data has been consumed)
@@ -565,27 +637,41 @@ fn iop_write_listless(
             }
         }
         if any {
+            windows += 1;
             let dense = hints.detect_dense_writes
                 && state
                     .merge
                     .as_ref()
                     .is_some_and(|m| m.covered(win, win_end));
             if !dense {
+                let t = lio_obs::now();
                 read_window(storage, win, fb)?;
+                io_ns += lio_obs::elapsed_ns(t);
             }
+            let t = lio_obs::now();
             for (k, p) in placements.iter().enumerate() {
                 if takes[k] == 0 {
                     continue;
                 }
                 let a = cursors[k];
                 let off = (a - p.s_lo) as usize;
-                let placed = p.nav.place_window(&p.data[off..off + takes[k] as usize], a, fb, win);
+                let placed = p
+                    .nav
+                    .place_window(&p.data[off..off + takes[k] as usize], a, fb, win);
                 debug_assert_eq!(placed as u64, takes[k]);
                 cursors[k] += takes[k];
             }
+            pack_ns += lio_obs::elapsed_ns(t);
+            let t = lio_obs::now();
             storage.write_at(win, fb)?;
+            io_ns += lio_obs::elapsed_ns(t);
         }
         win = win_end;
+    }
+    if obs {
+        OBS_W_IO_NS.add(io_ns);
+        OBS_W_PACK_NS.add(pack_ns);
+        OBS_WINDOWS.add(windows);
     }
     Ok(())
 }
@@ -608,8 +694,17 @@ pub(crate) fn read_at_all(
         ViewNav::List(_) => Engine::ListBased,
         ViewNav::Ff(_) => Engine::Listless,
     };
+    let obs = lio_obs::enabled();
+    if obs {
+        OBS_R_CALLS.incr();
+    }
+    let mut exch_ns = 0u64;
+    let mut io_ns = 0u64;
+    let mut pack_ns = 0u64;
     let my_range = access_range(nav, stream_start, total);
+    let t = lio_obs::now();
     let (domains, _ranges) = file_domains(comm, my_range, hints);
+    exch_ns += lio_obs::elapsed_ns(t);
     let stream_end = stream_start + total;
     let naggr = domains.len();
     let me = comm.rank();
@@ -628,12 +723,19 @@ pub(crate) fn read_at_all(
         my_intersections[i] = (s_lo, s_hi);
         if engine == Engine::ListBased {
             let list = build_access_list(nav, s_lo, s_hi, dom);
+            if obs {
+                OBS_EXCH_LIST_BYTES.add(list.len() as u64);
+            }
+            let t = lio_obs::now();
             comm.send_vec(i, TAG_TP_LIST, list);
+            exch_ns += lio_obs::elapsed_ns(t);
         }
         let mut msg = Vec::with_capacity(16);
         msg.extend_from_slice(&s_lo.to_le_bytes());
         msg.extend_from_slice(&s_hi.to_le_bytes());
+        let t = lio_obs::now();
         comm.send_vec(i, TAG_TP_DATA, msg);
+        exch_ns += lio_obs::elapsed_ns(t);
     }
 
     // ----- IOP phase: read windows and ship each AP its bytes ----------
@@ -643,12 +745,14 @@ pub(crate) fn read_at_all(
             Engine::ListBased => {
                 let mut recv: Vec<RecvList> = Vec::with_capacity(comm.size());
                 let mut outs: Vec<Vec<u8>> = Vec::with_capacity(comm.size());
+                let t = lio_obs::now();
                 for p in 0..comm.size() {
                     let list_bytes = comm.recv(p, TAG_TP_LIST);
                     let _hdr = comm.recv(p, TAG_TP_DATA);
                     recv.push(RecvList::parse(&list_bytes, Vec::new())?);
                     outs.push(Vec::new());
                 }
+                exch_ns += lio_obs::elapsed_ns(t);
                 let lo = recv.iter().filter_map(|r| r.next_offset()).min();
                 let hi = recv.iter().filter_map(|r| r.end_offset()).max();
                 if let (Some(lo), Some(hi)) = (lo, hi) {
@@ -664,17 +768,29 @@ pub(crate) fn read_at_all(
                             .iter()
                             .any(|r| r.next_offset().is_some_and(|o| o < win_end));
                         if wanted {
+                            if obs {
+                                OBS_WINDOWS.incr();
+                            }
+                            let t = lio_obs::now();
                             read_window(storage, win, fb)?;
+                            io_ns += lio_obs::elapsed_ns(t);
+                            let t = lio_obs::now();
                             for (r, out) in recv.iter_mut().zip(outs.iter_mut()) {
                                 r.extract_from(fb, win, win_end, out);
                             }
+                            pack_ns += lio_obs::elapsed_ns(t);
                         }
                         win = win_end;
                     }
                 }
+                let t = lio_obs::now();
                 for (p, out) in outs.into_iter().enumerate() {
+                    if obs {
+                        OBS_EXCH_DATA_BYTES.add(out.len() as u64);
+                    }
                     comm.send_vec(p, TAG_TP_RDATA, out);
                 }
+                exch_ns += lio_obs::elapsed_ns(t);
             }
             Engine::Listless => {
                 let navs = state
@@ -682,12 +798,14 @@ pub(crate) fn read_at_all(
                     .as_ref()
                     .expect("listless collective requires cached fileviews");
                 let mut spans: Vec<(u64, u64)> = Vec::with_capacity(comm.size());
+                let t = lio_obs::now();
                 for p in 0..comm.size() {
                     let msg = comm.recv(p, TAG_TP_DATA);
                     let s_lo = u64::from_le_bytes(msg[0..8].try_into().expect("s_lo"));
                     let s_hi = u64::from_le_bytes(msg[8..16].try_into().expect("s_hi"));
                     spans.push((s_lo, s_hi));
                 }
+                exch_ns += lio_obs::elapsed_ns(t);
                 let lo = spans
                     .iter()
                     .zip(navs)
@@ -700,8 +818,10 @@ pub(crate) fn read_at_all(
                     .filter(|(s, _)| s.1 > s.0)
                     .map(|(s, n)| n.stream_to_abs(s.1 - 1) + 1)
                     .max();
-                let mut outs: Vec<Vec<u8>> =
-                    spans.iter().map(|s| Vec::with_capacity((s.1 - s.0) as usize)).collect();
+                let mut outs: Vec<Vec<u8>> = spans
+                    .iter()
+                    .map(|s| Vec::with_capacity((s.1 - s.0) as usize))
+                    .collect();
                 if let (Some(lo), Some(hi)) = (lo, hi) {
                     let lo = lo.max(dom.0);
                     let hi = hi.min(dom.1);
@@ -725,7 +845,13 @@ pub(crate) fn read_at_all(
                             }
                         }
                         if any {
+                            if obs {
+                                OBS_WINDOWS.incr();
+                            }
+                            let t = lio_obs::now();
                             read_window(storage, win, fb)?;
+                            io_ns += lio_obs::elapsed_ns(t);
+                            let t = lio_obs::now();
                             for (k, nav_p) in navs.iter().enumerate() {
                                 if takes[k] == 0 {
                                     continue;
@@ -741,13 +867,19 @@ pub(crate) fn read_at_all(
                                 debug_assert_eq!(got as u64, takes[k]);
                                 cursors[k] += takes[k];
                             }
+                            pack_ns += lio_obs::elapsed_ns(t);
                         }
                         win = win_end;
                     }
                 }
+                let t = lio_obs::now();
                 for (p, out) in outs.into_iter().enumerate() {
+                    if obs {
+                        OBS_EXCH_DATA_BYTES.add(out.len() as u64);
+                    }
                     comm.send_vec(p, TAG_TP_RDATA, out);
                 }
+                exch_ns += lio_obs::elapsed_ns(t);
             }
         }
     }
@@ -757,13 +889,22 @@ pub(crate) fn read_at_all(
         if dom.1 <= dom.0 {
             continue;
         }
+        let t = lio_obs::now();
         let data = comm.recv(i, TAG_TP_RDATA);
+        exch_ns += lio_obs::elapsed_ns(t);
         let (s_lo, s_hi) = my_intersections[i];
         debug_assert_eq!(data.len() as u64, s_hi - s_lo);
         if s_hi > s_lo {
+            let t = lio_obs::now();
             let put = packer.unpack(&data, user, s_lo - stream_start);
+            pack_ns += lio_obs::elapsed_ns(t);
             debug_assert_eq!(put, data.len());
         }
+    }
+    if obs {
+        OBS_R_EXCH_NS.add(exch_ns);
+        OBS_R_IO_NS.add(io_ns);
+        OBS_R_PACK_NS.add(pack_ns);
     }
     Ok(total)
 }

@@ -262,10 +262,7 @@ impl ListNav {
         let within = stream % self.fsize();
         // deliberate linear traversal from the start of the list — the
         // list-based navigation cost of paper Section 2.2
-        let rel = self
-            .list
-            .offset_of(within)
-            .expect("within < filetype size");
+        let rel = self.list.offset_of(within).expect("within < filetype size");
         self.view.disp + inst * self.fext() + rel as u64
     }
 
@@ -473,9 +470,12 @@ mod tests {
     #[test]
     fn contiguous_detection() {
         assert!(FileView::bytes().is_contiguous());
-        let dense =
-            FileView::new(8, Datatype::double(), Datatype::contiguous(4, &Datatype::double()).unwrap())
-                .unwrap();
+        let dense = FileView::new(
+            8,
+            Datatype::double(),
+            Datatype::contiguous(4, &Datatype::double()).unwrap(),
+        )
+        .unwrap();
         assert!(dense.is_contiguous());
         assert!(!sample_view(0).is_contiguous());
     }
@@ -496,11 +496,7 @@ mod tests {
     fn navs_agree_on_abs_to_stream() {
         let (ln, fn_) = both_navs(sample_view(100));
         for abs in 0..300 {
-            assert_eq!(
-                ln.abs_to_stream(abs),
-                fn_.abs_to_stream(abs),
-                "abs {abs}"
-            );
+            assert_eq!(ln.abs_to_stream(abs), fn_.abs_to_stream(abs), "abs {abs}");
         }
     }
 

@@ -212,7 +212,10 @@ fn collective_subarray_2d_tiles() {
         let d3 = pattern((rows / 2 * cols / 2 * esz) as usize, 3 + 11);
         let row = rows / 2; // first row of the tile
         let off = ((row * cols + cols / 2) * esz) as usize;
-        assert_eq!(&snap[off..off + (cols / 2 * esz) as usize], &d3[..(cols / 2 * esz) as usize]);
+        assert_eq!(
+            &snap[off..off + (cols / 2 * esz) as usize],
+            &d3[..(cols / 2 * esz) as usize]
+        );
     }
 }
 
@@ -293,7 +296,8 @@ fn collective_all_ranks_empty() {
             let f = File::open(comm, shared2.clone(), h).unwrap();
             f.write_at_all(0, &[], 0, &Datatype::byte()).unwrap();
             let mut nothing: Vec<u8> = Vec::new();
-            f.read_at_all(0, &mut nothing, 0, &Datatype::byte()).unwrap();
+            f.read_at_all(0, &mut nothing, 0, &Datatype::byte())
+                .unwrap();
         });
         assert_eq!(shared.len(), 0);
     }
@@ -313,13 +317,23 @@ fn repeated_collectives_on_same_view() {
             let step_bytes = 8 * 8;
             for step in 0..5u64 {
                 let data = pattern(step_bytes, me * 100 + step);
-                f.write_at_all(step * step_bytes as u64, &data, step_bytes as u64, &Datatype::byte())
-                    .unwrap();
+                f.write_at_all(
+                    step * step_bytes as u64,
+                    &data,
+                    step_bytes as u64,
+                    &Datatype::byte(),
+                )
+                .unwrap();
             }
             // read back step 3
             let mut back = vec![0u8; step_bytes];
-            f.read_at_all(3 * step_bytes as u64, &mut back, step_bytes as u64, &Datatype::byte())
-                .unwrap();
+            f.read_at_all(
+                3 * step_bytes as u64,
+                &mut back,
+                step_bytes as u64,
+                &Datatype::byte(),
+            )
+            .unwrap();
             assert_eq!(back, pattern(step_bytes, me * 100 + 3));
         });
     }
@@ -339,7 +353,8 @@ fn collective_read_of_preexisting_file() {
             let mut f = File::open(comm, shared2.clone(), h).unwrap();
             f.set_view(disp, Datatype::byte(), ft).unwrap();
             let mut back = vec![0u8; 16 * 8];
-            f.read_at_all(0, &mut back, 16 * 8, &Datatype::byte()).unwrap();
+            f.read_at_all(0, &mut back, 16 * 8, &Datatype::byte())
+                .unwrap();
             // rank me owns bytes disp + k*32 .. +8 of the file
             for blk in 0..16usize {
                 let fo = me as usize * 8 + blk * 32;

@@ -60,7 +60,8 @@ fn non_integral_etype_advance_rejected() {
         let shared2 = shared.clone();
         World::run(1, move |comm| {
             let mut f = File::open(comm, shared2.clone(), h).unwrap();
-            f.set_view(0, Datatype::double(), Datatype::double()).unwrap();
+            f.set_view(0, Datatype::double(), Datatype::double())
+                .unwrap();
             // 5 bytes is not a whole double: write() must error on advance
             assert!(f.write(&[1, 2, 3, 4, 5], 5, &Datatype::byte()).is_err());
         });
@@ -105,7 +106,8 @@ fn set_view_resets_pointer() {
         let mut f = File::open(comm, shared.clone(), Hints::listless()).unwrap();
         f.write(&[1u8; 16], 16, &Datatype::byte()).unwrap();
         assert_eq!(f.tell(), 16);
-        f.set_view(0, Datatype::double(), Datatype::double()).unwrap();
+        f.set_view(0, Datatype::double(), Datatype::double())
+            .unwrap();
         assert_eq!(f.tell(), 0);
     });
 }

@@ -46,9 +46,7 @@ fn check_independent(
     let got_back = World::run(1, move |comm| {
         let mut f = File::open(comm, shared.clone(), hints).unwrap();
         f.set_view(disp, etype2.clone(), ftype2.clone()).unwrap();
-        let n = f
-            .write_at(offset_etypes, &user2, count, &memtype2)
-            .unwrap();
+        let n = f.write_at(offset_etypes, &user2, count, &memtype2).unwrap();
         assert_eq!(n, count * memtype2.size());
 
         // snapshot and compare inside (storage reachable via shared)
@@ -207,14 +205,8 @@ fn direct_mode_equals_sieve_mode() {
 #[test]
 fn subarray_fileview() {
     for h in engines() {
-        let ft = Datatype::subarray(
-            &[8, 10],
-            &[4, 5],
-            &[2, 3],
-            Order::C,
-            &Datatype::double(),
-        )
-        .unwrap();
+        let ft =
+            Datatype::subarray(&[8, 10], &[4, 5], &[2, 3], Order::C, &Datatype::double()).unwrap();
         check_independent(
             h,
             0,

@@ -43,7 +43,8 @@ fn shared_pointer_advances_in_etypes() {
     let shared = SharedFile::new(MemFile::new());
     World::run(1, |comm| {
         let mut f = File::open(comm, shared.clone(), Hints::listless()).unwrap();
-        f.set_view(0, Datatype::double(), Datatype::double()).unwrap();
+        f.set_view(0, Datatype::double(), Datatype::double())
+            .unwrap();
         assert_eq!(f.tell_shared(), 0);
         f.write_shared(&[0u8; 24], 24, &Datatype::byte()).unwrap();
         assert_eq!(f.tell_shared(), 3); // three doubles

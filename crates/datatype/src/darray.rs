@@ -219,12 +219,7 @@ mod tests {
     }
 
     /// All ranks' darray types must partition the global array exactly.
-    fn check_partition(
-        gsizes: &[u64],
-        distribs: &[Distrib],
-        psizes: &[u64],
-        order: Order,
-    ) {
+    fn check_partition(gsizes: &[u64], distribs: &[Distrib], psizes: &[u64], order: Order) {
         let nprocs: u64 = psizes.iter().product();
         let total: u64 = gsizes.iter().product();
         let esize = 4u64;
@@ -239,11 +234,7 @@ mod tests {
                 assert_eq!(run.len % esize, 0);
                 for k in 0..run.len / esize {
                     let el = run.disp as u64 / esize + k;
-                    assert_eq!(
-                        covered[el as usize],
-                        u64::MAX,
-                        "element {el} claimed twice"
-                    );
+                    assert_eq!(covered[el as usize], u64::MAX, "element {el} claimed twice");
                     covered[el as usize] = rank;
                 }
             }
@@ -383,9 +374,7 @@ mod tests {
         assert!(darray(4, 0, &[8], &[Distrib::Block], &[3], Order::C, &e).is_err());
         assert!(darray(4, 5, &[8], &[Distrib::Block], &[4], Order::C, &e).is_err());
         assert!(darray(2, 0, &[8], &[Distrib::None], &[2], Order::C, &e).is_err());
-        assert!(
-            darray(4, 0, &[16], &[Distrib::BlockSized(2)], &[4], Order::C, &e).is_err()
-        );
+        assert!(darray(4, 0, &[16], &[Distrib::BlockSized(2)], &[4], Order::C, &e).is_err());
     }
 
     #[test]

@@ -21,8 +21,44 @@
 //! ([`Datatype::is_monotone`]), the MPI-IO restriction on etypes and
 //! filetypes; this is debug-asserted.
 
+use lio_obs::{LazyCounter, LazyHistogram};
+
+use crate::strided::StridedSpec;
 use crate::types::{Datatype, Node, TypeKind};
 use crate::FlatIter;
+
+/// Copy-engine metrics. Blocks-copied and the contiguous-run-length
+/// distribution quantify the paper's Section 2.1 copy overhead: small
+/// runs mean the pack loop is bookkeeping-bound, large runs mean it runs
+/// at memcpy speed.
+static OBS_PACK_CALLS: LazyCounter = LazyCounter::new("dt.pack.calls");
+static OBS_PACK_BLOCKS: LazyCounter = LazyCounter::new("dt.pack.blocks");
+static OBS_PACK_BYTES: LazyCounter = LazyCounter::new("dt.pack.bytes");
+static OBS_UNPACK_CALLS: LazyCounter = LazyCounter::new("dt.unpack.calls");
+static OBS_UNPACK_BLOCKS: LazyCounter = LazyCounter::new("dt.unpack.blocks");
+static OBS_UNPACK_BYTES: LazyCounter = LazyCounter::new("dt.unpack.bytes");
+static OBS_RUN_LEN: LazyHistogram = LazyHistogram::new("dt.run.len");
+
+/// Record a strided copy of `n` bytes starting at data byte `skipbytes`
+/// as its sequence of contiguous runs (first/full/last), without having
+/// walked them individually.
+fn record_strided_runs(spec: &StridedSpec, skipbytes: u64, n: u64, blocks: &LazyCounter) {
+    if n == 0 || spec.block == 0 {
+        return;
+    }
+    let b = spec.block;
+    let first = (b - skipbytes % b).min(n);
+    let rest = n - first;
+    let full = rest / b;
+    let last = rest % b;
+    let nblocks = 1 + full + u64::from(last > 0);
+    blocks.add(nblocks);
+    OBS_RUN_LEN.record(first);
+    OBS_RUN_LEN.record_n(b, full);
+    if last > 0 {
+        OBS_RUN_LEN.record(last);
+    }
+}
 
 /// Byte position, within the tiled layout of `d`, where the data byte with
 /// index `databytes` lives (0-based). `databytes` may be any multiple of or
@@ -137,9 +173,8 @@ fn bytes_below(node: &Node, x: i64) -> u64 {
             // Blocks are disp-sorted with sorted ends (monotone, and
             // zero-length blocks are dropped at construction); count the
             // fully-below blocks.
-            let nb = blocks.partition_point(|b| {
-                b.disp + (b.blocklen as i64 - 1) * cext + cm.data_ub <= x
-            });
+            let nb = blocks
+                .partition_point(|b| b.disp + (b.blocklen as i64 - 1) * cext + cm.data_ub <= x);
             let mut total = prefix[nb];
             if let Some(b) = blocks.get(nb) {
                 total += tiled_bytes_below(&child.0, b.blocklen, cext, x - b.disp);
@@ -148,9 +183,7 @@ fn bytes_below(node: &Node, x: i64) -> u64 {
         }
         TypeKind::Struct { fields } => fields
             .iter()
-            .map(|f| {
-                tiled_bytes_below(&f.child.0, f.count, f.child.extent() as i64, x - f.disp)
-            })
+            .map(|f| tiled_bytes_below(&f.child.0, f.count, f.child.extent() as i64, x - f.disp))
             .sum(),
         TypeKind::Resized { child, .. } => bytes_below(&child.0, x),
     }
@@ -201,8 +234,7 @@ fn pos_within(node: &Node, w: u64) -> i64 {
             let k = w / csize;
             let i = k / blocklen;
             let j = k % blocklen;
-            i as i64 * stride + j as i64 * child.extent() as i64
-                + pos_within(&child.0, w % csize)
+            i as i64 * stride + j as i64 * child.extent() as i64 + pos_within(&child.0, w % csize)
         }
         TypeKind::Hindexed { blocks, child } => {
             let prefix = node
@@ -214,8 +246,7 @@ fn pos_within(node: &Node, w: u64) -> i64 {
             let csize = child.size();
             let rb = w - prefix[b];
             let j = rb / csize;
-            blocks[b].disp + j as i64 * child.extent() as i64
-                + pos_within(&child.0, rb % csize)
+            blocks[b].disp + j as i64 * child.extent() as i64 + pos_within(&child.0, rb % csize)
         }
         TypeKind::Struct { fields } => {
             let mut cum = 0u64;
@@ -228,7 +259,8 @@ fn pos_within(node: &Node, w: u64) -> i64 {
                     let rf = w - cum;
                     let csize = f.child.size();
                     let j = rf / csize;
-                    return f.disp + j as i64 * f.child.extent() as i64
+                    return f.disp
+                        + j as i64 * f.child.extent() as i64
                         + pos_within(&f.child.0, rf % csize);
                 }
                 cum += fsize;
@@ -260,13 +292,7 @@ fn find_block(prefix: &[u64], nblocks: usize, r: u64) -> usize {
 ///
 /// `src[i]` holds the byte at typemap displacement `i`; use [`ff_pack_at`]
 /// when the slice is a window at a nonzero displacement.
-pub fn ff_pack(
-    src: &[u8],
-    count: u64,
-    d: &Datatype,
-    skipbytes: u64,
-    packbuf: &mut [u8],
-) -> usize {
+pub fn ff_pack(src: &[u8], count: u64, d: &Datatype, skipbytes: u64, packbuf: &mut [u8]) -> usize {
     ff_pack_at(src, 0, count, d, skipbytes, packbuf)
 }
 
@@ -281,9 +307,10 @@ pub fn ff_pack_at(
     skipbytes: u64,
     packbuf: &mut [u8],
 ) -> usize {
+    let obs = lio_obs::enabled();
     // strided fast path: batched copies outside the tree traversal
     if let Some(spec) = d.as_strided() {
-        return crate::strided::strided_pack(
+        let n = crate::strided::strided_pack(
             &spec,
             d.extent(),
             src,
@@ -292,15 +319,31 @@ pub fn ff_pack_at(
             skipbytes,
             packbuf,
         );
+        if obs {
+            OBS_PACK_CALLS.incr();
+            OBS_PACK_BYTES.add(n as u64);
+            record_strided_runs(&spec, skipbytes, n as u64, &OBS_PACK_BLOCKS);
+        }
+        return n;
     }
     let mut it = FlatIter::with_skip(d, count, skipbytes);
     let mut out = 0usize;
+    let mut runs = 0u64;
     while out < packbuf.len() {
         let Some(run) = it.next_run() else { break };
         let s = (run.disp - buf_disp) as usize;
         let n = (run.len as usize).min(packbuf.len() - out);
         packbuf[out..out + n].copy_from_slice(&src[s..s + n]);
         out += n;
+        runs += 1;
+        if obs {
+            OBS_RUN_LEN.record(n as u64);
+        }
+    }
+    if obs {
+        OBS_PACK_CALLS.incr();
+        OBS_PACK_BLOCKS.add(runs);
+        OBS_PACK_BYTES.add(out as u64);
     }
     out
 }
@@ -329,9 +372,10 @@ pub fn ff_unpack_at(
     d: &Datatype,
     skipbytes: u64,
 ) -> usize {
+    let obs = lio_obs::enabled();
     // strided fast path: batched copies outside the tree traversal
     if let Some(spec) = d.as_strided() {
-        return crate::strided::strided_unpack(
+        let n = crate::strided::strided_unpack(
             &spec,
             d.extent(),
             dst,
@@ -340,15 +384,31 @@ pub fn ff_unpack_at(
             skipbytes,
             packbuf,
         );
+        if obs {
+            OBS_UNPACK_CALLS.incr();
+            OBS_UNPACK_BYTES.add(n as u64);
+            record_strided_runs(&spec, skipbytes, n as u64, &OBS_UNPACK_BLOCKS);
+        }
+        return n;
     }
     let mut it = FlatIter::with_skip(d, count, skipbytes);
     let mut consumed = 0usize;
+    let mut runs = 0u64;
     while consumed < packbuf.len() {
         let Some(run) = it.next_run() else { break };
         let t = (run.disp - buf_disp) as usize;
         let n = (run.len as usize).min(packbuf.len() - consumed);
         dst[t..t + n].copy_from_slice(&packbuf[consumed..consumed + n]);
         consumed += n;
+        runs += 1;
+        if obs {
+            OBS_RUN_LEN.record(n as u64);
+        }
+    }
+    if obs {
+        OBS_UNPACK_CALLS.incr();
+        OBS_UNPACK_BLOCKS.add(runs);
+        OBS_UNPACK_BYTES.add(consumed as u64);
     }
     consumed
 }
@@ -409,11 +469,7 @@ mod tests {
         }
         let mut below = 0u64;
         for x in 0..=cover.len() {
-            assert_eq!(
-                bytes_below_tiled(&d, x as i64),
-                below,
-                "position {x}"
-            );
+            assert_eq!(bytes_below_tiled(&d, x as i64), below, "position {x}");
             if x < cover.len() && cover[x] {
                 below += 1;
             }
@@ -429,7 +485,7 @@ mod tests {
         assert_eq!(ff_size(&d, 0, 16), 8); // block 0 + gap
         assert_eq!(ff_size(&d, 0, 17), 9);
         assert_eq!(ff_size(&d, 8, 16), 8); // starts at block 1
-        // skip 4: start mid-block-0 at position 4
+                                           // skip 4: start mid-block-0 at position 4
         assert_eq!(ff_size(&d, 4, 4), 4);
         assert_eq!(ff_size(&d, 4, 13), 5);
     }
@@ -451,8 +507,8 @@ mod tests {
 
     #[test]
     fn ff_size_extent_are_inverse() {
-        let d = Datatype::subarray(&[6, 8], &[3, 4], &[2, 1], Order::C, &Datatype::double())
-            .unwrap();
+        let d =
+            Datatype::subarray(&[6, 8], &[3, 4], &[2, 1], Order::C, &Datatype::double()).unwrap();
         for skip in (0..d.size() * 2).step_by(8) {
             for size in (8..=d.size()).step_by(16) {
                 // data-byte positions are strictly increasing for monotone
@@ -472,8 +528,7 @@ mod tests {
 
     #[test]
     fn pack_matches_reference_full() {
-        let d = Datatype::subarray(&[5, 7], &[3, 4], &[1, 2], Order::C, &Datatype::int())
-            .unwrap();
+        let d = Datatype::subarray(&[5, 7], &[3, 4], &[1, 2], Order::C, &Datatype::int()).unwrap();
         let src: Vec<u8> = (0..(d.extent() * 2) as usize)
             .map(|i| (i % 251) as u8)
             .collect();
@@ -531,7 +586,13 @@ mod tests {
         let mut skip = 0u64;
         while skip < d.size() {
             let n = (d.size() - skip).min(7) as usize;
-            let m = ff_unpack(&packed[skip as usize..skip as usize + n], &mut chunked, 1, &d, skip);
+            let m = ff_unpack(
+                &packed[skip as usize..skip as usize + n],
+                &mut chunked,
+                1,
+                &d,
+                skip,
+            );
             assert_eq!(m, n);
             skip += n as u64;
         }

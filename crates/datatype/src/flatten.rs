@@ -15,6 +15,11 @@
 use crate::typemap::Run;
 use crate::types::Datatype;
 use crate::FlatIter;
+use lio_obs::LazyCounter;
+
+static OBS_FLATTEN_CALLS: LazyCounter = LazyCounter::new("dt.flatten.calls");
+static OBS_FLATTEN_ENTRIES: LazyCounter = LazyCounter::new("dt.flatten.entries");
+static OBS_FLATTEN_BYTES: LazyCounter = LazyCounter::new("dt.flatten.bytes");
 
 /// One ol-list entry: a contiguous block of `len` bytes at byte `offset`.
 ///
@@ -62,7 +67,13 @@ impl OlList {
                 len: run.len,
             });
         }
-        OlList { segs }
+        let list = OlList { segs };
+        if lio_obs::enabled() {
+            OBS_FLATTEN_CALLS.incr();
+            OBS_FLATTEN_ENTRIES.add(list.segs.len() as u64);
+            OBS_FLATTEN_BYTES.add(list.memory_bytes() as u64);
+        }
+        list
     }
 
     /// Build directly from runs (used by the two-phase engine when an AP
@@ -333,16 +344,10 @@ mod tests {
     #[test]
     fn merge_two_interleaved_lists() {
         let a = OlList {
-            segs: vec![
-                OlSeg { offset: 0, len: 8 },
-                OlSeg { offset: 16, len: 8 },
-            ],
+            segs: vec![OlSeg { offset: 0, len: 8 }, OlSeg { offset: 16, len: 8 }],
         };
         let b = OlList {
-            segs: vec![
-                OlSeg { offset: 8, len: 8 },
-                OlSeg { offset: 24, len: 8 },
-            ],
+            segs: vec![OlSeg { offset: 8, len: 8 }, OlSeg { offset: 24, len: 8 }],
         };
         let m = OlList::merge_lists(&[&a, &b]);
         assert_eq!(m.segs, vec![OlSeg { offset: 0, len: 32 }]);
@@ -390,10 +395,7 @@ mod tests {
         let l = OlList::flatten(&inner, 1);
         assert_eq!(
             l.segs,
-            vec![
-                OlSeg { offset: 0, len: 8 },
-                OlSeg { offset: 12, len: 4 }
-            ]
+            vec![OlSeg { offset: 0, len: 8 }, OlSeg { offset: 12, len: 4 }]
         );
     }
 

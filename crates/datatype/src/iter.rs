@@ -139,11 +139,7 @@ impl<'a> FlatIter<'a> {
                 if rr != 0 {
                     let i = k / blocklen;
                     let j = k % blocklen;
-                    self.descend(
-                        &child.0,
-                        base + i as i64 * stride + j as i64 * cext,
-                        rr,
-                    );
+                    self.descend(&child.0, base + i as i64 * stride + j as i64 * cext, rr);
                 }
             }
             TypeKind::Hindexed { blocks, child } => {
@@ -175,11 +171,7 @@ impl<'a> FlatIter<'a> {
                     idx2: if rr == 0 { j } else { j + 1 },
                 });
                 if rr != 0 {
-                    self.descend(
-                        &child.0,
-                        base + blocks[b].disp + j as i64 * cext,
-                        rr,
-                    );
+                    self.descend(&child.0, base + blocks[b].disp + j as i64 * cext, rr);
                 }
             }
             TypeKind::Struct { fields } => {
@@ -202,11 +194,7 @@ impl<'a> FlatIter<'a> {
                             idx2: if rr == 0 { j } else { j + 1 },
                         });
                         if rr != 0 {
-                            self.descend(
-                                &f.child.0,
-                                base + f.disp + j as i64 * cext,
-                                rr,
-                            );
+                            self.descend(&f.child.0, base + f.disp + j as i64 * cext, rr);
                         }
                         return;
                     }
@@ -649,8 +637,14 @@ mod tests {
         let cases: Vec<Datatype> = vec![
             Datatype::vector(7, 3, 5, &Datatype::double()).unwrap(),
             Datatype::indexed(&[1, 4, 2], &[3, 6, 20], &Datatype::basic(2)).unwrap(),
-            Datatype::subarray(&[4, 4, 4], &[2, 2, 2], &[1, 1, 1], Order::C, &Datatype::int())
-                .unwrap(),
+            Datatype::subarray(
+                &[4, 4, 4],
+                &[2, 2, 2],
+                &[1, 1, 1],
+                Order::C,
+                &Datatype::int(),
+            )
+            .unwrap(),
         ];
         for d in &cases {
             let total: u64 = collect(d, 3).iter().map(|r| r.len).sum();

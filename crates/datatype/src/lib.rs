@@ -53,11 +53,10 @@ pub mod strided;
 pub mod typemap;
 pub mod types;
 
-pub use ff::{
-    bytes_below_tiled, ff_extent, ff_offset, ff_pack, ff_pack_at, ff_size, ff_unpack,
-    ff_unpack_at,
-};
 pub use darray::{darray, Distrib};
+pub use ff::{
+    bytes_below_tiled, ff_extent, ff_offset, ff_pack, ff_pack_at, ff_size, ff_unpack, ff_unpack_at,
+};
 pub use flatten::{OlList, OlPos, OlSeg};
 pub use iter::FlatIter;
 pub use strided::{strided_pack, strided_unpack, StridedSpec};

@@ -218,8 +218,14 @@ mod tests {
         roundtrip(&Datatype::indexed(&[1, 2, 3], &[0, 5, 11], &Datatype::int()).unwrap());
         roundtrip(&Datatype::resized(&Datatype::int(), -4, 32).unwrap());
         roundtrip(
-            &Datatype::subarray(&[8, 8, 8], &[4, 2, 3], &[1, 0, 5], Order::C, &Datatype::double())
-                .unwrap(),
+            &Datatype::subarray(
+                &[8, 8, 8],
+                &[4, 2, 3],
+                &[1, 0, 5],
+                Order::C,
+                &Datatype::double(),
+            )
+            .unwrap(),
         );
     }
 
@@ -264,7 +270,7 @@ mod tests {
         assert!(decode(&[]).is_err());
         assert!(decode(&[99]).is_err());
         assert!(decode(&[TAG_CONTIG, 1, 2]).is_err()); // truncated count
-        // trailing bytes
+                                                       // trailing bytes
         let mut ok = encode(&Datatype::int());
         ok.push(0);
         assert!(decode(&ok).is_err());

@@ -101,18 +101,16 @@ impl Datatype {
                 count: 1,
             }),
             TypeKind::LbMark | TypeKind::UbMark => None,
-            TypeKind::Contiguous { count, child } => child
-                .as_strided()?
-                .tile(*count, child.extent() as i64),
+            TypeKind::Contiguous { count, child } => {
+                child.as_strided()?.tile(*count, child.extent() as i64)
+            }
             TypeKind::Hvector {
                 count,
                 blocklen,
                 stride,
                 child,
             } => {
-                let inner = child
-                    .as_strided()?
-                    .tile(*blocklen, child.extent() as i64)?;
+                let inner = child.as_strided()?.tile(*blocklen, child.extent() as i64)?;
                 inner.tile(*count, *stride)
             }
             TypeKind::Hindexed { blocks, child } => {
@@ -182,8 +180,7 @@ pub fn strided_pack(
     while out < todo {
         let inst = gblock / spec.count;
         let j = gblock % spec.count;
-        let pos =
-            inst as i64 * extent as i64 + spec.base + j as i64 * spec.stride + within as i64;
+        let pos = inst as i64 * extent as i64 + spec.base + j as i64 * spec.stride + within as i64;
         let s = (pos - buf_disp) as usize;
         if s >= src.len() {
             break; // source window exhausted
@@ -218,8 +215,7 @@ pub fn strided_unpack(
     while consumed < todo {
         let inst = gblock / spec.count;
         let j = gblock % spec.count;
-        let pos =
-            inst as i64 * extent as i64 + spec.base + j as i64 * spec.stride + within as i64;
+        let pos = inst as i64 * extent as i64 + spec.base + j as i64 * spec.stride + within as i64;
         let t = (pos - buf_disp) as usize;
         if t >= dst.len() {
             break; // destination window exhausted
@@ -331,8 +327,7 @@ mod tests {
     #[test]
     fn subarray_2d_reduces_rows() {
         // a 2D subarray: rows of 3 ints, row stride 6 ints
-        let d = Datatype::subarray(&[4, 6], &[2, 3], &[1, 2], Order::C, &Datatype::int())
-            .unwrap();
+        let d = Datatype::subarray(&[4, 6], &[2, 3], &[1, 2], Order::C, &Datatype::int()).unwrap();
         let s = d.as_strided().unwrap();
         assert_eq!(
             s,
@@ -361,8 +356,7 @@ mod tests {
 
     #[test]
     fn full_subarray_is_dense() {
-        let d = Datatype::subarray(&[4, 4], &[4, 4], &[0, 0], Order::C, &Datatype::int())
-            .unwrap();
+        let d = Datatype::subarray(&[4, 4], &[4, 4], &[0, 0], Order::C, &Datatype::int()).unwrap();
         let s = d.as_strided().unwrap();
         assert_eq!(s.count, 1);
         assert_eq!(s.block, 64);

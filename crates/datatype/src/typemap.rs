@@ -207,10 +207,7 @@ mod tests {
         let runs = expand_merged(&d, 1);
         assert_eq!(
             runs,
-            vec![
-                Run { disp: 32, len: 12 },
-                Run { disp: 56, len: 12 }
-            ]
+            vec![Run { disp: 32, len: 12 }, Run { disp: 56, len: 12 }]
         );
     }
 

@@ -104,12 +104,19 @@ pub enum TypeKind {
     },
     /// Blocks of child instances at explicit byte displacements. Covers
     /// `indexed`, `hindexed`, and `indexed_block`.
-    Hindexed { blocks: Arc<[HBlock]>, child: Datatype },
+    Hindexed {
+        blocks: Arc<[HBlock]>,
+        child: Datatype,
+    },
     /// Heterogeneous fields at explicit byte displacements.
     Struct { fields: Arc<[Field]> },
     /// The child with overridden lower bound and extent
     /// (`MPI_Type_create_resized`).
-    Resized { lb: i64, extent: u64, child: Datatype },
+    Resized {
+        lb: i64,
+        extent: u64,
+        child: Datatype,
+    },
 }
 
 /// Cached metadata for one node; computed once at construction.
@@ -374,21 +381,16 @@ impl Datatype {
         // Displacements of the child instances: i*stride + j*ext for
         // i in 0..count, j in 0..blocklen.
         let empty = count == 0 || blocklen == 0;
-        let span =
-            |per_inst_lo: i64, per_inst_hi: i64| -> (i64, i64) {
-                if empty {
-                    return (0, 0);
-                }
-                let last_block = (count as i64 - 1) * stride;
-                let last_in_block = (blocklen as i64 - 1) * ext;
-                let lo = per_inst_lo
-                    + 0i64.min(last_block)
-                    + 0i64.min(last_in_block);
-                let hi = per_inst_hi
-                    + 0i64.max(last_block)
-                    + 0i64.max(last_in_block);
-                (lo, hi)
-            };
+        let span = |per_inst_lo: i64, per_inst_hi: i64| -> (i64, i64) {
+            if empty {
+                return (0, 0);
+            }
+            let last_block = (count as i64 - 1) * stride;
+            let last_in_block = (blocklen as i64 - 1) * ext;
+            let lo = per_inst_lo + 0i64.min(last_block) + 0i64.min(last_in_block);
+            let hi = per_inst_hi + 0i64.max(last_block) + 0i64.max(last_in_block);
+            (lo, hi)
+        };
         let (data_lb, data_ub) = if empty || m.size == 0 {
             (0, 0)
         } else {
@@ -880,8 +882,14 @@ impl Datatype {
             (TypeKind::Basic { size: a }, TypeKind::Basic { size: b }) => a == b,
             (TypeKind::LbMark, TypeKind::LbMark) | (TypeKind::UbMark, TypeKind::UbMark) => true,
             (
-                TypeKind::Contiguous { count: c1, child: t1 },
-                TypeKind::Contiguous { count: c2, child: t2 },
+                TypeKind::Contiguous {
+                    count: c1,
+                    child: t1,
+                },
+                TypeKind::Contiguous {
+                    count: c2,
+                    child: t2,
+                },
             ) => c1 == c2 && t1.structurally_equal(t2),
             (
                 TypeKind::Hvector {
@@ -898,8 +906,14 @@ impl Datatype {
                 },
             ) => c1 == c2 && b1 == b2 && s1 == s2 && t1.structurally_equal(t2),
             (
-                TypeKind::Hindexed { blocks: b1, child: t1 },
-                TypeKind::Hindexed { blocks: b2, child: t2 },
+                TypeKind::Hindexed {
+                    blocks: b1,
+                    child: t1,
+                },
+                TypeKind::Hindexed {
+                    blocks: b2,
+                    child: t2,
+                },
             ) => b1 == b2 && t1.structurally_equal(t2),
             (TypeKind::Struct { fields: f1 }, TypeKind::Struct { fields: f2 }) => {
                 f1.len() == f2.len()
@@ -1219,17 +1233,15 @@ mod tests {
 
     #[test]
     fn subarray_full_extent_is_contiguous_data() {
-        let d = Datatype::subarray(&[4, 4], &[4, 4], &[0, 0], Order::C, &Datatype::double())
-            .unwrap();
+        let d =
+            Datatype::subarray(&[4, 4], &[4, 4], &[0, 0], Order::C, &Datatype::double()).unwrap();
         assert_eq!(d.size(), d.extent());
         assert!(d.is_contiguous());
     }
 
     #[test]
     fn subarray_rejects_out_of_range() {
-        assert!(
-            Datatype::subarray(&[4, 4], &[2, 3], &[3, 0], Order::C, &Datatype::int()).is_err()
-        );
+        assert!(Datatype::subarray(&[4, 4], &[2, 3], &[3, 0], Order::C, &Datatype::int()).is_err());
         assert!(Datatype::subarray(&[4], &[0], &[0], Order::C, &Datatype::int()).is_err());
     }
 

@@ -1,6 +1,6 @@
 //! Communicators and point-to-point messaging.
 //!
-//! Ranks are threads; transport is a crossbeam channel per ordered rank
+//! Ranks are threads; transport is an mpsc channel per ordered rank
 //! pair. Messages physically move through the channels (the ol-lists of
 //! the list-based engine are really serialized and sent), so communication
 //! *volume* — the quantity the paper's two-phase analysis hinges on — is
@@ -10,9 +10,19 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
-use crossbeam::channel::{Receiver, Sender};
+use lio_obs::{LazyCounter, LazyHistogram};
+
+/// Point-to-point traffic (user sends), distinguished from collective
+/// traffic so the ol-list metadata exchanged inside two-phase collectives
+/// is directly observable against the data it moves.
+static OBS_P2P_MSGS: LazyCounter = LazyCounter::new("mpi.p2p.msgs");
+static OBS_P2P_BYTES: LazyCounter = LazyCounter::new("mpi.p2p.bytes");
+static OBS_COLL_MSGS: LazyCounter = LazyCounter::new("mpi.coll.msgs");
+static OBS_COLL_BYTES: LazyCounter = LazyCounter::new("mpi.coll.bytes");
+static OBS_MSG_SIZE: LazyHistogram = LazyHistogram::new("mpi.msg.size");
 
 /// Wildcard source for [`Comm::recv_any`].
 pub const ANY_SOURCE: usize = usize::MAX;
@@ -115,17 +125,20 @@ impl Comm {
     /// Send `payload` to rank `dst` with a user `tag` (must be `< 2^32`).
     pub fn send(&self, dst: usize, tag: u64, payload: &[u8]) {
         debug_assert!(tag < COLL_TAG_BASE, "user tags must be below 2^32");
-        self.send_raw(dst, tag, payload.to_vec());
+        self.send_vec(dst, tag, payload.to_vec());
     }
 
     /// Send an owned buffer, avoiding a copy.
     pub fn send_vec(&self, dst: usize, tag: u64, payload: Vec<u8>) {
         debug_assert!(tag < COLL_TAG_BASE, "user tags must be below 2^32");
+        OBS_P2P_MSGS.incr();
+        OBS_P2P_BYTES.add(payload.len() as u64);
         self.send_raw(dst, tag, payload);
     }
 
     fn send_raw(&self, dst: usize, tag: u64, payload: Vec<u8>) {
         assert!(dst < self.size, "destination rank {dst} out of range");
+        OBS_MSG_SIZE.record(payload.len() as u64);
         self.counters.msgs[self.rank].fetch_add(1, Ordering::Relaxed);
         self.counters.bytes[self.rank].fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.senders[dst]
@@ -206,6 +219,8 @@ impl Comm {
     }
 
     pub(crate) fn send_coll(&self, dst: usize, tag: u64, payload: Vec<u8>) {
+        OBS_COLL_MSGS.incr();
+        OBS_COLL_BYTES.add(payload.len() as u64);
         self.send_raw(dst, tag, payload);
     }
 }

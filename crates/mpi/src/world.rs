@@ -1,9 +1,8 @@
 //! Spawning a world of ranks.
 
 use std::sync::atomic::AtomicU64;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
-
-use crossbeam::channel::unbounded;
 
 use crate::comm::{Comm, Message, WorldCounters};
 
@@ -59,13 +58,15 @@ impl World {
             bytes: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
         });
         // channel[p][q]: p -> q
-        let mut txs: Vec<Vec<Option<crossbeam::channel::Sender<Message>>>> =
-            (0..nprocs).map(|_| (0..nprocs).map(|_| None).collect()).collect();
-        let mut rxs: Vec<Vec<Option<crossbeam::channel::Receiver<Message>>>> =
-            (0..nprocs).map(|_| (0..nprocs).map(|_| None).collect()).collect();
+        let mut txs: Vec<Vec<Option<Sender<Message>>>> = (0..nprocs)
+            .map(|_| (0..nprocs).map(|_| None).collect())
+            .collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Message>>>> = (0..nprocs)
+            .map(|_| (0..nprocs).map(|_| None).collect())
+            .collect();
         for p in 0..nprocs {
             for q in 0..nprocs {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 txs[p][q] = Some(tx);
                 rxs[p][q] = Some(rx);
             }

@@ -1,0 +1,84 @@
+//! `lio-obs` under real rank concurrency: counters written from every
+//! rank of a [`World::run`] must aggregate without loss, and the p2p
+//! metrics must account for exactly the messages sent.
+
+use std::sync::{Mutex, MutexGuard};
+
+use lio_mpi::World;
+use lio_obs::LazyCounter;
+
+/// Tests in this binary toggle the process-global enabled flag and reset
+/// the registry; serialize them.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static RANK_ADDS: LazyCounter = LazyCounter::new("test.mpi.rank_adds");
+
+#[test]
+fn ranks_increment_concurrently_without_loss() {
+    let _g = obs_lock();
+    lio_obs::reset();
+    lio_obs::set_enabled(true);
+    let nprocs = 8;
+    let per_rank = 10_000u64;
+    World::run(nprocs, move |comm| {
+        for _ in 0..per_rank {
+            RANK_ADDS.incr();
+        }
+        // keep the ranks genuinely overlapped rather than serially spawned
+        comm.barrier();
+        for _ in 0..per_rank {
+            RANK_ADDS.add(2);
+        }
+    });
+    lio_obs::set_enabled(false);
+    assert_eq!(RANK_ADDS.get(), nprocs as u64 * per_rank * 3);
+}
+
+#[test]
+fn p2p_metrics_account_for_every_message() {
+    let _g = obs_lock();
+    lio_obs::reset();
+    lio_obs::set_enabled(true);
+    let nprocs = 4;
+    let payload = 100usize;
+    World::run(nprocs, move |comm| {
+        let next = (comm.rank() + 1) % comm.size();
+        let prev = (comm.rank() + comm.size() - 1) % comm.size();
+        comm.send_vec(next, 7, vec![comm.rank() as u8; payload]);
+        let got = comm.recv(prev, 7);
+        assert_eq!(got, vec![prev as u8; payload]);
+    });
+    lio_obs::set_enabled(false);
+    let snap = lio_obs::snapshot();
+    assert_eq!(snap.counter("mpi.p2p.msgs"), nprocs as u64);
+    assert_eq!(snap.counter("mpi.p2p.bytes"), (nprocs * payload) as u64);
+    // every p2p send also lands one sample in the size histogram
+    let h = snap.histogram("mpi.msg.size").expect("size histogram");
+    assert_eq!(h.count, nprocs as u64);
+    assert_eq!(h.sum, (nprocs * payload) as u64);
+}
+
+#[test]
+fn collective_traffic_counted_separately() {
+    let _g = obs_lock();
+    lio_obs::reset();
+    lio_obs::set_enabled(true);
+    World::run(4, |comm| {
+        let all = comm.allgather(vec![comm.rank() as u8; 8]);
+        assert_eq!(all.len(), comm.size());
+    });
+    lio_obs::set_enabled(false);
+    let snap = lio_obs::snapshot();
+    assert!(
+        snap.counter("mpi.coll.msgs") > 0,
+        "allgather sends no collective messages?"
+    );
+    assert_eq!(
+        snap.counter("mpi.p2p.msgs"),
+        0,
+        "allgather must not count as p2p"
+    );
+}

@@ -196,9 +196,7 @@ pub fn run(cfg: &Config) -> RunResult {
     let count = (cfg.bytes_per_proc / inst_bytes).max(1);
     let total = count * inst_bytes;
     let hints = cfg.hints();
-    let shared = SharedFile::new(MemFile::with_capacity(
-        (total * cfg.nprocs as u64) as usize,
-    ));
+    let shared = SharedFile::new(MemFile::with_capacity((total * cfg.nprocs as u64) as usize));
     // Pre-fault the file pages so the first engine measured does not pay
     // the page-fault cost the second one would skip.
     shared

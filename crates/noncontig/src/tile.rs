@@ -135,19 +135,19 @@ pub fn run_tileio(cfg: &TileConfig) -> TileResult {
                 wbuf.extend(std::iter::repeat_n(elem_tag(y, x), esz64 as usize));
             }
         }
-        f.set_view(0, elem.clone(), write_view).expect("set write view");
+        f.set_view(0, elem.clone(), write_view)
+            .expect("set write view");
         let mut wsecs = f64::INFINITY;
         for _ in 0..cfg2.reps.max(1) {
             comm.barrier();
             let t = Instant::now();
             match cfg2.access {
-                Access::Collective => {
-                    f.write_at_all(0, &wbuf, wbytes, &Datatype::byte())
-                        .expect("write")
-                }
-                Access::Independent => {
-                    f.write_at(0, &wbuf, wbytes, &Datatype::byte()).expect("write")
-                }
+                Access::Collective => f
+                    .write_at_all(0, &wbuf, wbytes, &Datatype::byte())
+                    .expect("write"),
+                Access::Independent => f
+                    .write_at(0, &wbuf, wbytes, &Datatype::byte())
+                    .expect("write"),
             };
             comm.barrier();
             wsecs = wsecs.min(comm.allmax_f64(t.elapsed().as_secs_f64()));
@@ -156,19 +156,19 @@ pub fn run_tileio(cfg: &TileConfig) -> TileResult {
         // --- read the ghost-extended tile ----------------------------
         let rbytes = (ry1 - ry0) * (rx1 - rx0) * esz64;
         let mut rbuf = vec![0u8; rbytes as usize];
-        f.set_view(0, elem.clone(), read_view).expect("set read view");
+        f.set_view(0, elem.clone(), read_view)
+            .expect("set read view");
         let mut rsecs = f64::INFINITY;
         for _ in 0..cfg2.reps.max(1) {
             comm.barrier();
             let t = Instant::now();
             match cfg2.access {
-                Access::Collective => {
-                    f.read_at_all(0, &mut rbuf, rbytes, &Datatype::byte())
-                        .expect("read")
-                }
-                Access::Independent => {
-                    f.read_at(0, &mut rbuf, rbytes, &Datatype::byte()).expect("read")
-                }
+                Access::Collective => f
+                    .read_at_all(0, &mut rbuf, rbytes, &Datatype::byte())
+                    .expect("read"),
+                Access::Independent => f
+                    .read_at(0, &mut rbuf, rbytes, &Datatype::byte())
+                    .expect("read"),
             };
             comm.barrier();
             rsecs = rsecs.min(comm.allmax_f64(t.elapsed().as_secs_f64()));

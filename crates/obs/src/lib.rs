@@ -1,0 +1,781 @@
+//! `lio-obs`: zero-dependency observability for the listless-io stack.
+//!
+//! A process-global metrics registry with three instrument kinds:
+//!
+//! * [`Counter`] — monotonically increasing, sharded across cache lines so
+//!   concurrent ranks (threads) never contend on one atomic;
+//! * [`Gauge`] — a single last-written / maximum value;
+//! * [`Histogram`] — log2-bucketed distribution (sizes in bytes, latencies
+//!   in nanoseconds) with count/sum/min/max.
+//!
+//! Instrumentation sites declare a `static` handle ([`LazyCounter`],
+//! [`LazyGauge`], [`LazyHistogram`]) naming the metric; the handle registers
+//! itself in the global [`Registry`] on first use. Every recording method is
+//! gated on the global [`enabled`] flag, so the **disabled cost is one
+//! relaxed atomic load and a predictable branch** — verified by the
+//! `obs_overhead` bench in `lio-bench`.
+//!
+//! Enable programmatically with [`set_enabled`], via the `LIO_OBS`
+//! environment variable (checked by [`init_from_env`]), or through the
+//! `lio_obs` hint key in `lio-core`. [`snapshot`] serializes every
+//! registered metric to JSON (hand-rolled; no serde).
+//!
+//! Metric name convention: `layer.object.what`, e.g. `pfs.read.bytes`,
+//! `mpi.p2p.msgs`, `dt.pack.blocks`, `core.coll.write.exchange_ns`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Global enable flag
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is instrumentation currently recording? One relaxed load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Relaxed)
+}
+
+/// Turn recording on or off globally.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Relaxed);
+}
+
+/// Read the `LIO_OBS` environment variable once per process and enable
+/// recording unless it is `0`, `false`, or `off`. Absent means "leave the
+/// current setting alone". Call sites that open files or run benchmarks
+/// invoke this; repeated calls are free.
+pub fn init_from_env() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        if let Ok(v) = std::env::var("LIO_OBS") {
+            let v = v.to_ascii_lowercase();
+            set_enabled(!matches!(v.as_str(), "0" | "false" | "off" | ""));
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Counter: sharded, cache-line padded
+// ---------------------------------------------------------------------------
+
+const SHARDS: usize = 8;
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Assign each thread a shard slot round-robin so ranks spawned by
+/// `World::run` land on distinct cache lines.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: usize = NEXT.fetch_add(1, Relaxed) % SHARDS;
+    }
+    SLOT.with(|s| *s)
+}
+
+/// A monotonically increasing counter, sharded across cache lines.
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    fn new() -> Self {
+        Counter {
+            shards: std::array::from_fn(|_| PaddedU64::default()),
+        }
+    }
+
+    /// Add `n`. Not gated: callers go through [`LazyCounter::add`].
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Relaxed);
+    }
+
+    /// Sum over all shards. Concurrent adds may or may not be included.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// A single value: last set, or running maximum.
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Relaxed);
+    }
+
+    /// Keep the maximum of the current value and `v`.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.value.fetch_max(v, Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram: log2 buckets
+// ---------------------------------------------------------------------------
+
+/// Number of buckets: index 0 holds the value 0, index `i >= 1` holds
+/// values in `[2^(i-1), 2^i - 1]`. u64::MAX lands in bucket 64.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index for a value: `0 -> 0`, else `64 - leading_zeros(v)`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` value range covered by bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1u64 << 63, u64::MAX),
+        _ => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+/// A log2-bucketed distribution with count, sum, min, and max.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Not gated: callers go through
+    /// [`LazyHistogram::record`].
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` observations of the same value with one set of atomic
+    /// ops (e.g. "this strided pack copied 4096 runs of 64 bytes").
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(n, Relaxed);
+        self.count.fetch_add(n, Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        let m = self.min.load(Relaxed);
+        (m != u64::MAX || self.count() > 0).then_some(m)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+
+    /// Raw bucket counts, index as per [`bucket_index`].
+    pub fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Relaxed))
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+enum Instrument {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// The process-global metric registry. Instruments are registered by name
+/// on first use and live for the rest of the process (leaked), so hot
+/// paths hold plain `&'static` references and never lock.
+pub struct Registry {
+    metrics: Mutex<BTreeMap<&'static str, Instrument>>,
+}
+
+fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        metrics: Mutex::new(BTreeMap::new()),
+    })
+}
+
+impl Registry {
+    fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name)
+            .or_insert_with(|| Instrument::Counter(Box::leak(Box::new(Counter::new()))))
+        {
+            Instrument::Counter(c) => c,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name)
+            .or_insert_with(|| Instrument::Gauge(Box::leak(Box::new(Gauge::new()))))
+        {
+            Instrument::Gauge(g) => g,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name)
+            .or_insert_with(|| Instrument::Histogram(Box::leak(Box::new(Histogram::new()))))
+        {
+            Instrument::Histogram(h) => h,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+}
+
+/// Zero every registered metric. Registered names stay registered.
+pub fn reset() {
+    let m = global().metrics.lock().unwrap();
+    for inst in m.values() {
+        match inst {
+            Instrument::Counter(c) => c.reset(),
+            Instrument::Gauge(g) => g.reset(),
+            Instrument::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static instrumentation-site handles
+// ---------------------------------------------------------------------------
+
+/// A `static`-friendly counter handle: registers in the global registry on
+/// first use, and gates every `add` on [`enabled`].
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<&'static Counter>,
+}
+
+impl LazyCounter {
+    pub const fn new(name: &'static str) -> Self {
+        LazyCounter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn force(&self) -> &'static Counter {
+        self.cell.get_or_init(|| global().counter(self.name))
+    }
+
+    /// Add `n` if recording is enabled; otherwise a relaxed load + branch.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.force().add(n);
+        }
+    }
+
+    #[inline(always)]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total (registers the metric if it never fired).
+    pub fn get(&self) -> u64 {
+        self.force().get()
+    }
+}
+
+/// A `static`-friendly gauge handle; see [`LazyCounter`].
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<&'static Gauge>,
+}
+
+impl LazyGauge {
+    pub const fn new(name: &'static str) -> Self {
+        LazyGauge {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn force(&self) -> &'static Gauge {
+        self.cell.get_or_init(|| global().gauge(self.name))
+    }
+
+    #[inline(always)]
+    pub fn set(&self, v: u64) {
+        if enabled() {
+            self.force().set(v);
+        }
+    }
+
+    #[inline(always)]
+    pub fn record_max(&self, v: u64) {
+        if enabled() {
+            self.force().record_max(v);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.force().get()
+    }
+}
+
+/// A `static`-friendly histogram handle; see [`LazyCounter`].
+pub struct LazyHistogram {
+    name: &'static str,
+    cell: OnceLock<&'static Histogram>,
+}
+
+impl LazyHistogram {
+    pub const fn new(name: &'static str) -> Self {
+        LazyHistogram {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn force(&self) -> &'static Histogram {
+        self.cell.get_or_init(|| global().histogram(self.name))
+    }
+
+    #[inline(always)]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            self.force().record(v);
+        }
+    }
+
+    /// Record `n` observations of `v`; see [`Histogram::record_n`].
+    #[inline(always)]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if enabled() {
+            self.force().record_n(v, n);
+        }
+    }
+
+    /// Start a span whose elapsed nanoseconds are recorded into this
+    /// histogram when the guard drops. Costs nothing when disabled.
+    #[inline]
+    pub fn span(&'static self) -> Span {
+        Span {
+            inner: enabled().then(|| (Instant::now(), self)),
+        }
+    }
+
+    pub fn histogram(&self) -> &'static Histogram {
+        self.force()
+    }
+}
+
+/// RAII timer: records elapsed ns into its histogram on drop.
+pub struct Span {
+    inner: Option<(Instant, &'static LazyHistogram)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.inner.take() {
+            hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// `Some(Instant::now())` when recording, `None` otherwise. Pairs with
+/// [`elapsed_ns`] for manual phase accumulation (the two-phase breakdown
+/// in `lio-core` accumulates per-round phase times this way).
+#[inline]
+pub fn now() -> Option<Instant> {
+    enabled().then(Instant::now)
+}
+
+/// Nanoseconds since `start`, or 0 when `start` is `None`.
+#[inline]
+pub fn elapsed_ns(start: Option<Instant>) -> u64 {
+    start.map_or(0, |s| s.elapsed().as_nanos() as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + JSON export
+// ---------------------------------------------------------------------------
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Non-empty buckets only: `(lo, hi, count)` with inclusive bounds.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// Point-in-time copy of every registered metric, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, u64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Take a snapshot of the global registry. Safe to call while other
+/// threads are recording; values are relaxed reads.
+pub fn snapshot() -> Snapshot {
+    let m = global().metrics.lock().unwrap();
+    let mut snap = Snapshot::default();
+    for (name, inst) in m.iter() {
+        match inst {
+            Instrument::Counter(c) => snap.counters.push((name.to_string(), c.get())),
+            Instrument::Gauge(g) => snap.gauges.push((name.to_string(), g.get())),
+            Instrument::Histogram(h) => {
+                let counts = h.bucket_counts();
+                let buckets = counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| {
+                        let (lo, hi) = bucket_bounds(i);
+                        (lo, hi, c)
+                    })
+                    .collect();
+                snap.histograms.push((
+                    name.to_string(),
+                    HistogramSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        min: h.min().unwrap_or(0),
+                        max: h.max(),
+                        buckets,
+                    },
+                ));
+            }
+        }
+    }
+    snap
+}
+
+impl Snapshot {
+    /// Look up a counter by name; 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Serialize to a JSON object string (pretty, two-space indent).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        write_map(&mut out, &self.counters, |out, v| {
+            out.push_str(&v.to_string())
+        });
+        out.push_str("},\n  \"gauges\": {");
+        write_map(&mut out, &self.gauges, |out, v| {
+            out.push_str(&v.to_string())
+        });
+        out.push_str("},\n  \"histograms\": {");
+        write_map(&mut out, &self.histograms, |out, h| {
+            out.push_str(&format!(
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                h.count, h.sum, h.min, h.max
+            ));
+            for (i, (lo, hi, c)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{lo}, {hi}, {c}]"));
+            }
+            out.push_str("]}");
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn write_map<T>(out: &mut String, entries: &[(String, T)], mut val: impl FnMut(&mut String, &T)) {
+    for (i, (name, v)) in entries.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        json_string(out, name);
+        out.push_str(": ");
+        val(out, v);
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes + escapes).
+pub fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize access to the global enabled flag + registry across tests
+    /// (cargo runs tests in one process, many threads).
+    fn with_enabled<R>(f: impl FnOnce() -> R) -> R {
+        static GATE: Mutex<()> = Mutex::new(());
+        let _g = GATE.lock().unwrap();
+        reset();
+        set_enabled(true);
+        let r = f();
+        set_enabled(false);
+        r
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi bound of bucket {i}");
+            if hi < u64::MAX {
+                assert_eq!(bucket_index(hi + 1), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn counter_disabled_is_noop() {
+        with_enabled(|| {
+            static C: LazyCounter = LazyCounter::new("test.noop.counter");
+            set_enabled(false);
+            C.add(41);
+            C.incr();
+            assert_eq!(C.get(), 0);
+            set_enabled(true);
+            C.add(41);
+            C.incr();
+            assert_eq!(C.get(), 42);
+        });
+    }
+
+    #[test]
+    fn histogram_stats() {
+        with_enabled(|| {
+            static H: LazyHistogram = LazyHistogram::new("test.hist.stats");
+            for v in [0u64, 1, 3, 8, 1024] {
+                H.record(v);
+            }
+            let h = H.histogram();
+            assert_eq!(h.count(), 5);
+            assert_eq!(h.sum(), 1036);
+            assert_eq!(h.min(), Some(0));
+            assert_eq!(h.max(), 1024);
+            let counts = h.bucket_counts();
+            assert_eq!(counts[0], 1); // 0
+            assert_eq!(counts[1], 1); // 1
+            assert_eq!(counts[2], 1); // 3
+            assert_eq!(counts[4], 1); // 8
+            assert_eq!(counts[11], 1); // 1024
+        });
+    }
+
+    #[test]
+    fn snapshot_and_json() {
+        with_enabled(|| {
+            static C: LazyCounter = LazyCounter::new("test.snap.counter");
+            static G: LazyGauge = LazyGauge::new("test.snap.gauge");
+            static H: LazyHistogram = LazyHistogram::new("test.snap.hist");
+            C.add(7);
+            G.record_max(3);
+            G.record_max(2);
+            H.record(100);
+            let s = snapshot();
+            assert_eq!(s.counter("test.snap.counter"), 7);
+            assert!(s.gauges.contains(&("test.snap.gauge".into(), 3)));
+            let h = s.histogram("test.snap.hist").unwrap();
+            assert_eq!((h.count, h.sum, h.min, h.max), (1, 100, 100, 100));
+            assert_eq!(h.buckets, vec![(64, 127, 1)]);
+            let json = s.to_json();
+            assert!(json.contains("\"test.snap.counter\": 7"));
+            assert!(json.contains("\"buckets\": [[64, 127, 1]]"));
+        });
+    }
+
+    #[test]
+    fn concurrent_counter_adds() {
+        with_enabled(|| {
+            static C: LazyCounter = LazyCounter::new("test.concurrent.counter");
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for _ in 0..10_000 {
+                            C.incr();
+                        }
+                    });
+                }
+            });
+            assert_eq!(C.get(), 80_000);
+        });
+    }
+
+    #[test]
+    fn snapshot_while_writing_races() {
+        with_enabled(|| {
+            static C: LazyCounter = LazyCounter::new("test.race.counter");
+            static H: LazyHistogram = LazyHistogram::new("test.race.hist");
+            std::thread::scope(|s| {
+                let writer = s.spawn(|| {
+                    for i in 0..20_000u64 {
+                        C.incr();
+                        H.record(i);
+                    }
+                });
+                // Snapshots taken mid-write must be internally sane:
+                // monotone counters, histogram count never exceeds what
+                // the writer could have recorded so far.
+                let mut last = 0;
+                while !writer.is_finished() {
+                    let s = snapshot();
+                    let c = s.counter("test.race.counter");
+                    assert!(c >= last, "counter went backwards: {last} -> {c}");
+                    last = c;
+                    if let Some(h) = s.histogram("test.race.hist") {
+                        assert!(h.count <= 20_000);
+                        let bucket_total: u64 = h.buckets.iter().map(|(_, _, c)| *c).sum();
+                        assert!(bucket_total <= 20_000);
+                    }
+                }
+                writer.join().unwrap();
+            });
+            assert_eq!(C.get(), 20_000);
+        });
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        with_enabled(|| {
+            static C: LazyCounter = LazyCounter::new("test.reset.counter");
+            static H: LazyHistogram = LazyHistogram::new("test.reset.hist");
+            C.add(5);
+            H.record(9);
+            reset();
+            assert_eq!(C.get(), 0);
+            assert_eq!(H.histogram().count(), 0);
+            assert_eq!(H.histogram().min(), None);
+        });
+    }
+
+    #[test]
+    fn span_records_elapsed() {
+        with_enabled(|| {
+            static H: LazyHistogram = LazyHistogram::new("test.span.hist");
+            {
+                let _s = H.span();
+                std::hint::black_box(0u64);
+            }
+            assert_eq!(H.histogram().count(), 1);
+        });
+    }
+}

@@ -4,7 +4,23 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use lio_obs::{LazyCounter, LazyHistogram};
+
 use crate::file::StorageFile;
+
+/// Storage-layer metrics, fed by [`CountingFile`] (and the other
+/// decorators) into the global `lio-obs` registry. The request-size
+/// histograms are what make the paper's access-granularity arguments
+/// visible: data sieving should shift mass from tiny buckets to
+/// buffer-sized ones.
+static OBS_READ_CALLS: LazyCounter = LazyCounter::new("pfs.read.calls");
+static OBS_READ_BYTES: LazyCounter = LazyCounter::new("pfs.read.bytes");
+static OBS_WRITE_CALLS: LazyCounter = LazyCounter::new("pfs.write.calls");
+static OBS_WRITE_BYTES: LazyCounter = LazyCounter::new("pfs.write.bytes");
+static OBS_READ_SIZE: LazyHistogram = LazyHistogram::new("pfs.read.size");
+static OBS_WRITE_SIZE: LazyHistogram = LazyHistogram::new("pfs.write.size");
+static OBS_THROTTLE_NS: LazyCounter = LazyCounter::new("pfs.throttle.delay_ns");
+static OBS_FAULTS_INJECTED: LazyCounter = LazyCounter::new("pfs.faults.injected");
 
 /// A bandwidth/latency model emulating a particular storage system.
 ///
@@ -79,13 +95,17 @@ fn spin_for(d: Duration) {
 impl<F: StorageFile> StorageFile for ThrottledFile<F> {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
         let n = self.inner.read_at(offset, buf)?;
-        spin_for(self.throttle.delay_for(n, false));
+        let d = self.throttle.delay_for(n, false);
+        OBS_THROTTLE_NS.add(d.as_nanos() as u64);
+        spin_for(d);
         Ok(n)
     }
 
     fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<usize> {
         let n = self.inner.write_at(offset, buf)?;
-        spin_for(self.throttle.delay_for(n, true));
+        let d = self.throttle.delay_for(n, true);
+        OBS_THROTTLE_NS.add(d.as_nanos() as u64);
+        spin_for(d);
         Ok(n)
     }
 
@@ -113,6 +133,23 @@ pub struct IoStats {
     pub bytes_read: u64,
     /// Total bytes written.
     pub bytes_written: u64,
+    /// Largest single read request, in bytes.
+    pub max_read: u64,
+    /// Largest single write request, in bytes.
+    pub max_write: u64,
+}
+
+impl IoStats {
+    /// Fold `other` into `self`: totals add, maxima take the larger value.
+    /// Useful for aggregating per-rank or per-file stats.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.max_read = self.max_read.max(other.max_read);
+        self.max_write = self.max_write.max(other.max_write);
+    }
 }
 
 /// Wraps a [`StorageFile`] and counts accesses and bytes — used by the
@@ -124,6 +161,8 @@ pub struct CountingFile<F> {
     writes: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    max_read: AtomicU64,
+    max_write: AtomicU64,
 }
 
 impl<F: StorageFile> CountingFile<F> {
@@ -135,6 +174,8 @@ impl<F: StorageFile> CountingFile<F> {
             writes: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
+            max_read: AtomicU64::new(0),
+            max_write: AtomicU64::new(0),
         }
     }
 
@@ -145,6 +186,8 @@ impl<F: StorageFile> CountingFile<F> {
             writes: self.writes.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            max_read: self.max_read.load(Ordering::Relaxed),
+            max_write: self.max_write.load(Ordering::Relaxed),
         }
     }
 
@@ -154,6 +197,8 @@ impl<F: StorageFile> CountingFile<F> {
         self.writes.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
+        self.max_read.store(0, Ordering::Relaxed);
+        self.max_write.store(0, Ordering::Relaxed);
     }
 
     /// The wrapped file.
@@ -167,6 +212,10 @@ impl<F: StorageFile> StorageFile for CountingFile<F> {
         let n = self.inner.read_at(offset, buf)?;
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
+        self.max_read.fetch_max(buf.len() as u64, Ordering::Relaxed);
+        OBS_READ_CALLS.incr();
+        OBS_READ_BYTES.add(n as u64);
+        OBS_READ_SIZE.record(buf.len() as u64);
         Ok(n)
     }
 
@@ -174,6 +223,11 @@ impl<F: StorageFile> StorageFile for CountingFile<F> {
         let n = self.inner.write_at(offset, buf)?;
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(n as u64, Ordering::Relaxed);
+        self.max_write
+            .fetch_max(buf.len() as u64, Ordering::Relaxed);
+        OBS_WRITE_CALLS.incr();
+        OBS_WRITE_BYTES.add(n as u64);
+        OBS_WRITE_SIZE.record(buf.len() as u64);
         Ok(n)
     }
 
@@ -236,9 +290,11 @@ impl<F: StorageFile> StorageFile for FaultyFile<F> {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
         let op = self.next_op();
         if self.should_fail(op) {
+            OBS_FAULTS_INJECTED.incr();
             return Err(io::Error::other("injected read fault"));
         }
         if self.should_shorten(op) && buf.len() > 1 {
+            OBS_FAULTS_INJECTED.incr();
             let half = buf.len() / 2;
             return self.inner.read_at(offset, &mut buf[..half]);
         }
@@ -248,9 +304,11 @@ impl<F: StorageFile> StorageFile for FaultyFile<F> {
     fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<usize> {
         let op = self.next_op();
         if self.should_fail(op) {
+            OBS_FAULTS_INJECTED.incr();
             return Err(io::Error::other("injected write fault"));
         }
         if self.should_shorten(op) && buf.len() > 1 {
+            OBS_FAULTS_INJECTED.incr();
             let half = buf.len() / 2;
             return self.inner.write_at(offset, &buf[..half]);
         }
@@ -289,6 +347,33 @@ mod tests {
         assert_eq!(s.bytes_read, 80);
         f.reset();
         assert_eq!(f.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn counting_tracks_max_request_and_merge() {
+        let f = CountingFile::new(MemFile::new());
+        f.write_at(0, &[1; 100]).unwrap();
+        f.write_at(0, &[1; 10]).unwrap();
+        let mut buf = [0u8; 40];
+        f.read_at(0, &mut buf).unwrap();
+        let s = f.stats();
+        assert_eq!(s.max_write, 100);
+        assert_eq!(s.max_read, 40);
+
+        let mut total = IoStats::default();
+        total.merge(&s);
+        let other = IoStats {
+            reads: 1,
+            bytes_read: 5,
+            max_read: 512,
+            ..IoStats::default()
+        };
+        total.merge(&other);
+        assert_eq!(total.reads, s.reads + 1);
+        assert_eq!(total.writes, 2);
+        assert_eq!(total.bytes_read, s.bytes_read + 5);
+        assert_eq!(total.max_read, 512);
+        assert_eq!(total.max_write, 100);
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! The storage-file abstraction and its in-memory and on-disk backends.
 
 use std::io;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// A byte-addressable storage file supporting positional I/O — the
 /// substrate beneath the MPI-IO layer, standing in for the SX local file
@@ -92,13 +90,13 @@ impl MemFile {
 
     /// Snapshot the entire contents (test helper).
     pub fn snapshot(&self) -> Vec<u8> {
-        self.data.read().clone()
+        self.data.read().unwrap().clone()
     }
 }
 
 impl StorageFile for MemFile {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
-        let data = self.data.read();
+        let data = self.data.read().unwrap();
         let len = data.len() as u64;
         if offset >= len {
             return Ok(0);
@@ -113,7 +111,7 @@ impl StorageFile for MemFile {
             return Ok(0);
         }
         let end = offset as usize + buf.len();
-        let mut data = self.data.write();
+        let mut data = self.data.write().unwrap();
         if data.len() < end {
             data.resize(end, 0);
         }
@@ -122,11 +120,11 @@ impl StorageFile for MemFile {
     }
 
     fn len(&self) -> u64 {
-        self.data.read().len() as u64
+        self.data.read().unwrap().len() as u64
     }
 
     fn set_len(&self, len: u64) -> io::Result<()> {
-        self.data.write().resize(len as usize, 0);
+        self.data.write().unwrap().resize(len as usize, 0);
         Ok(())
     }
 
@@ -155,7 +153,10 @@ impl UnixFile {
 
     /// Open an existing file at `path` for read/write.
     pub fn open(path: impl AsRef<std::path::Path>) -> io::Result<UnixFile> {
-        let file = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)?;
         Ok(UnixFile { file })
     }
 }

@@ -9,9 +9,7 @@
 //! by all processes accessing a file.
 
 use std::ops::Range;
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 #[derive(Default)]
 struct LockState {
@@ -50,9 +48,9 @@ impl RangeLock {
             };
         }
         let (mutex, cond) = &*self.inner;
-        let mut state = mutex.lock();
+        let mut state = mutex.lock().unwrap();
         while state.held.iter().any(|h| overlap(h, &range)) {
-            cond.wait(&mut state);
+            state = cond.wait(state).unwrap();
         }
         state.held.push(range.clone());
         RangeGuard {
@@ -70,7 +68,7 @@ impl RangeLock {
             });
         }
         let (mutex, _) = &*self.inner;
-        let mut state = mutex.lock();
+        let mut state = mutex.lock().unwrap();
         if state.held.iter().any(|h| overlap(h, &range)) {
             return None;
         }
@@ -83,7 +81,7 @@ impl RangeLock {
 
     /// Number of ranges currently held (diagnostics).
     pub fn held_count(&self) -> usize {
-        self.inner.0.lock().held.len()
+        self.inner.0.lock().unwrap().held.len()
     }
 }
 
@@ -93,7 +91,7 @@ impl Drop for RangeGuard {
             return;
         }
         let (mutex, cond) = &*self.lock.inner;
-        let mut state = mutex.lock();
+        let mut state = mutex.lock().unwrap();
         if let Some(i) = state
             .held
             .iter()

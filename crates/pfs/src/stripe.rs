@@ -156,7 +156,8 @@ mod tests {
     #[test]
     fn stripes_land_on_members_round_robin() {
         let f = striped(2, 4);
-        f.write_at(0, &[1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]).unwrap();
+        f.write_at(0, &[1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3])
+            .unwrap();
         // stripe 0 -> member 0, stripe 1 -> member 1, stripe 2 -> member 0
         let m0 = f.members()[0].snapshot();
         let m1 = f.members()[1].snapshot();

@@ -46,7 +46,8 @@ fn main() {
         // and reads them back
         let mut back = vec![0u8; buf.len()];
         let blen = back.len() as u64;
-        f.read_at_all(0, &mut back, blen, &Datatype::byte()).unwrap();
+        f.read_at_all(0, &mut back, blen, &Datatype::byte())
+            .unwrap();
         assert_eq!(back, buf);
     });
 

@@ -75,7 +75,8 @@ fn main() {
 
         let mut tile = vec![0u8; (th * tw * ESZ) as usize];
         let tlen = tile.len() as u64;
-        f.read_at_all(0, &mut tile, tlen, &Datatype::byte()).unwrap();
+        f.read_at_all(0, &mut tile, tlen, &Datatype::byte())
+            .unwrap();
 
         // verify: every element carries its global coordinates
         for i in 0..th {
@@ -87,7 +88,10 @@ fn main() {
             }
         }
     });
-    println!("re-read as 1x4 column strips: all {} elements verified", ROWS * COLS);
+    println!(
+        "re-read as 1x4 column strips: all {} elements verified",
+        ROWS * COLS
+    );
 
     // --- phase 3: a serial reader grabs one row through a view ---------
     World::run(1, |comm| {

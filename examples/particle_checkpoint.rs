@@ -29,9 +29,7 @@ impl State {
     fn init(rank: u64) -> State {
         let n = PARTICLES_PER_RANK as usize;
         State {
-            pos: (0..3 * n)
-                .map(|i| rank as f64 * 1e6 + i as f64)
-                .collect(),
+            pos: (0..3 * n).map(|i| rank as f64 * 1e6 + i as f64).collect(),
             vel: (0..3 * n)
                 .map(|i| -(rank as f64 * 1e6 + i as f64))
                 .collect(),
@@ -131,7 +129,10 @@ fn main() {
         );
         images.push(snap);
     }
-    assert_eq!(images[0], images[1], "engines must write identical checkpoints");
+    assert_eq!(
+        images[0], images[1],
+        "engines must write identical checkpoints"
+    );
     println!("both engines produced bit-identical checkpoint files");
 
     // spot-check the record interleaving: record block b belongs to rank b % RANKS

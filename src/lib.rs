@@ -12,6 +12,8 @@
 //!
 //! * [`datatype`] — derived datatypes; ol-list flattening vs
 //!   flattening-on-the-fly,
+//! * [`obs`] — cross-layer metrics: counters, histograms, span timers,
+//!   JSON snapshots (`LIO_OBS=1` or the `lio_obs` hint to enable),
 //! * [`pfs`] — storage substrate (mem/disk/throttled/counting files),
 //! * [`mpi`] — threads-as-ranks message passing,
 //! * [`core`] — fileviews, data sieving, two-phase collective I/O,
@@ -37,6 +39,7 @@ pub use lio_core as core;
 pub use lio_datatype as datatype;
 pub use lio_mpi as mpi;
 pub use lio_noncontig as noncontig;
+pub use lio_obs as obs;
 pub use lio_pfs as pfs;
 
 /// The most common imports in one place.

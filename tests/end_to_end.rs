@@ -49,7 +49,8 @@ fn listless_moves_less_metadata() {
             let mut f = File::open(comm, shared.clone(), hints).unwrap();
             f.set_view(0, Datatype::byte(), ft).unwrap();
             let data = vec![me as u8; 512 * 8];
-            f.write_at_all(0, &data, 512 * 8, &Datatype::byte()).unwrap();
+            f.write_at_all(0, &data, 512 * 8, &Datatype::byte())
+                .unwrap();
             comm.barrier();
             comm.world_stats().bytes_sent
         })[0];
@@ -72,7 +73,10 @@ fn fileview_caching_amortizes() {
 
     let volume_for_steps = |steps: u64| -> (u64, u64) {
         let mut out = (0, 0);
-        for (i, hints) in [Hints::list_based(), Hints::listless()].into_iter().enumerate() {
+        for (i, hints) in [Hints::list_based(), Hints::listless()]
+            .into_iter()
+            .enumerate()
+        {
             let shared = SharedFile::new(MemFile::new());
             let bytes = World::run(2, |comm| {
                 let me = comm.rank() as u64;
@@ -158,7 +162,8 @@ fn throttled_storage_end_to_end() {
         let data = vec![me as u8 + 1; 32 * 8];
         f.write_at_all(0, &data, 32 * 8, &Datatype::byte()).unwrap();
         let mut back = vec![0u8; 32 * 8];
-        f.read_at_all(0, &mut back, 32 * 8, &Datatype::byte()).unwrap();
+        f.read_at_all(0, &mut back, 32 * 8, &Datatype::byte())
+            .unwrap();
         assert_eq!(back, data);
     });
     assert_eq!(shared.len(), 2 * 32 * 8);
@@ -229,7 +234,8 @@ fn prelude_covers_the_basics() {
         .unwrap();
         f.set_view(0, Datatype::double(), sub).unwrap();
         let data = vec![comm.rank() as u8 + 1; 4 * 2 * 8];
-        f.write_at_all(0, &data, 4 * 2 * 8, &Datatype::byte()).unwrap();
+        f.write_at_all(0, &data, 4 * 2 * 8, &Datatype::byte())
+            .unwrap();
     });
     assert_eq!(shared.len(), 4 * 4 * 8);
 }
