@@ -14,4 +14,15 @@ echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+# The collective suites again with the pipeline override forced both
+# ways, so every differential case runs both the monolithic and the
+# pipelined schedule regardless of per-test hints. (pipeline_mem is
+# excluded on purpose: it asserts on the pipeline's own gauges and is
+# not meaningful when the env override forces the hint off.)
+echo "== collective suites under LIO_PIPELINE=0"
+LIO_PIPELINE=0 cargo test -q -p lio-core --test collective --test pipeline
+
+echo "== collective suites under LIO_PIPELINE=1"
+LIO_PIPELINE=1 cargo test -q -p lio-core --test collective --test pipeline
+
 echo "CI OK"

@@ -696,19 +696,23 @@ fn throttle(opts: &Opts) {
     save("results/throttle.csv", &csv);
 }
 
-/// One instrumented collective write + read per engine, full `lio-obs`
-/// snapshot each. The JSON answers, per engine: how many file accesses
-/// and bytes the storage layer saw (`pfs.*`, via a [`CountingFile`]
-/// wrapper), how many bytes crossed the exchange phase and how much of
-/// that was ol-list metadata (`core.coll.exchange.*`, `mpi.*`), how many
-/// blocks the pack/unpack machinery copied (`dt.*`), and how the wall
-/// time of the collective split into exchange / file I/O / pack phases
-/// (`core.coll.*_ns`).
+/// One instrumented collective write + read per engine — monolithic and
+/// pipelined — with a full `lio-obs` snapshot each. The JSON answers,
+/// per configuration: how many file accesses and bytes the storage
+/// layer saw (`pfs.*`, via a [`CountingFile`] wrapper), how many bytes
+/// crossed the exchange phase and how much of that was ol-list metadata
+/// (`core.coll.exchange.*`, `mpi.*`), how many blocks the pack/unpack
+/// machinery copied (`dt.*`), and how the wall time of the collective
+/// split into exchange / file I/O / pack phases (`core.coll.*_ns`).
+/// The `*_pipelined` entries run on throttled (1 ms/op) storage with
+/// small exchange windows so `core.coll.*.overlap_ns` — storage time
+/// hidden behind the exchange — is meaningfully exercised.
 fn metrics(opts: &Opts) {
     use lio_core::{File, Hints, SharedFile};
     use lio_datatype::Datatype;
     use lio_mpi::World;
-    use lio_pfs::{CountingFile, MemFile};
+    use lio_pfs::{CountingFile, MemFile, Throttle, ThrottledFile};
+    use std::time::Duration;
 
     let nprocs = 4usize;
     let nblock: u64 = if opts.quick { 256 } else { 1024 };
@@ -724,12 +728,36 @@ fn metrics(opts: &Opts) {
     // the env var that File::open would otherwise apply mid-run.
     lio_obs::init_from_env();
 
+    let mut configs = Vec::new();
+    for (engine, ename) in ENGINES.iter() {
+        configs.push((ename.replace('-', "_"), Hints::with_engine(*engine), false));
+    }
+    for (engine, ename) in ENGINES.iter() {
+        configs.push((
+            format!("{}_pipelined", ename.replace('-', "_")),
+            Hints::with_engine(*engine)
+                .cb_buffer(4 << 10)
+                .pipelined(true)
+                .pipeline_depth(2),
+            true,
+        ));
+    }
+
     let mut json = String::from("{\n");
-    for (i, (engine, ename)) in ENGINES.iter().enumerate() {
+    for (i, (key, hints, throttled)) in configs.iter().enumerate() {
         lio_obs::reset();
         lio_obs::set_enabled(true);
-        let shared = SharedFile::new(CountingFile::new(MemFile::new()));
-        let hints = Hints::with_engine(*engine);
+        let slow = Throttle {
+            read_bw: 2e9,
+            write_bw: 2e9,
+            latency: Duration::from_millis(1),
+        };
+        let shared = if *throttled {
+            SharedFile::new(CountingFile::new(ThrottledFile::new(MemFile::new(), slow)))
+        } else {
+            SharedFile::new(CountingFile::new(MemFile::new()))
+        };
+        let hints = *hints;
         let shared2 = shared.clone();
         World::run(nprocs, move |comm| {
             let me = comm.rank() as u64;
@@ -746,15 +774,23 @@ fn metrics(opts: &Opts) {
         });
         lio_obs::set_enabled(false);
         let snap = lio_obs::snapshot();
-        let key = ename.replace('-', "_");
         println!(
-            "  {ename}: {} file accesses, {} B written, {} B list metadata, {} B exchange data",
+            "  {key}: {} file accesses, {} B written, {} B list metadata, {} B exchange data",
             snap.counter("pfs.read.calls") + snap.counter("pfs.write.calls"),
             snap.counter("pfs.write.bytes"),
             snap.counter("core.coll.exchange.list_bytes"),
             snap.counter("core.coll.exchange.data_bytes"),
         );
-        let sep = if i + 1 < ENGINES.len() { "," } else { "" };
+        if *throttled {
+            println!(
+                "  {key}: overlap write {:.2} ms / read {:.2} ms (storage hidden behind \
+                 exchange), peak IOP buffering {} B",
+                snap.counter("core.coll.write.overlap_ns") as f64 / 1e6,
+                snap.counter("core.coll.read.overlap_ns") as f64 / 1e6,
+                snap.gauge("core.coll.pipeline.peak_buffered_bytes"),
+            );
+        }
+        let sep = if i + 1 < configs.len() { "," } else { "" };
         writeln!(json, "  \"{key}\": {}{sep}", snap.to_json()).unwrap();
     }
     json.push_str("}\n");

@@ -52,6 +52,19 @@ pub struct Hints {
     /// read-modify-write (ROMIO's list-merge optimization; the listless
     /// engine uses the mergeview instead).
     pub detect_dense_writes: bool,
+    /// Use the pipelined two-phase path: APs ship their contribution per
+    /// file-domain window (bounding IOP memory) and each IOP
+    /// double-buffers, overlapping storage I/O with the exchange. Off by
+    /// default: on memcpy-speed storage the per-call worker threads cost
+    /// more than they hide, so the paper-regime benches keep the
+    /// monolithic path unless asked. The `LIO_PIPELINE` environment
+    /// variable overrides this hint either way (see
+    /// [`Hints::pipeline_enabled`]).
+    pub two_phase_pipeline: bool,
+    /// How many collective-buffer windows the pipelined path keeps in
+    /// flight per IOP (and how far each AP may run ahead of the IOP's
+    /// placement, enforced by credits). 2 = classic double buffering.
+    pub pipeline_depth: usize,
     /// Observability: `Some(on)` forces `lio-obs` recording on or off when
     /// a file is opened with these hints; `None` leaves the process-global
     /// setting (and the `LIO_OBS` environment variable) in charge.
@@ -68,6 +81,8 @@ impl Hints {
             cb_nodes: 0,
             sieving: SievingMode::Sieve,
             detect_dense_writes: true,
+            two_phase_pipeline: false,
+            pipeline_depth: 2,
             obs: None,
         }
     }
@@ -112,6 +127,38 @@ impl Hints {
     pub fn observability(mut self, on: bool) -> Hints {
         self.obs = Some(on);
         self
+    }
+
+    /// Enable or disable the pipelined two-phase path (builder style).
+    pub fn pipelined(mut self, on: bool) -> Hints {
+        self.two_phase_pipeline = on;
+        self
+    }
+
+    /// Override the pipeline depth (builder style; clamped to ≥ 1).
+    pub fn pipeline_depth(mut self, windows: usize) -> Hints {
+        self.pipeline_depth = windows.max(1);
+        self
+    }
+
+    /// Whether collective calls take the pipelined path, honoring the
+    /// `LIO_PIPELINE` environment override: `1`/`on`/`true`/`enable`
+    /// forces it on, `0`/`off`/`false`/`disable` forces it off, anything
+    /// else (or unset) defers to the `two_phase_pipeline` hint.
+    pub fn pipeline_enabled(&self) -> bool {
+        match std::env::var("LIO_PIPELINE") {
+            Ok(v) => match v.as_str() {
+                "1" | "on" | "true" | "enable" => true,
+                "0" | "off" | "false" | "disable" => false,
+                _ => self.two_phase_pipeline,
+            },
+            Err(_) => self.two_phase_pipeline,
+        }
+    }
+
+    /// Pipeline depth with the ≥ 1 invariant enforced.
+    pub fn effective_pipeline_depth(&self) -> usize {
+        self.pipeline_depth.max(1)
     }
 
     /// Resolve `cb_nodes` against the world size.
@@ -161,6 +208,16 @@ mod tests {
         let h = Hints::listless().ind_buffer(0);
         assert_eq!(h.ind_buffer_size, 1);
     }
+
+    #[test]
+    fn pipeline_builders() {
+        let h = Hints::default();
+        assert!(!h.two_phase_pipeline);
+        assert_eq!(h.pipeline_depth, 2);
+        let h = Hints::listless().pipelined(true).pipeline_depth(0);
+        assert!(h.two_phase_pipeline);
+        assert_eq!(h.effective_pipeline_depth(), 1);
+    }
 }
 
 impl Hints {
@@ -173,7 +230,9 @@ impl Hints {
     /// independent buffer knob; the larger wins), `cb_buffer_size`,
     /// `cb_nodes`, `romio_ds_write` (`enable`/`disable`/`automatic` →
     /// sieve/direct/auto), `detect_dense_writes` (`true`/`false`),
-    /// `lio_obs` (`enable`/`disable` — force metrics recording at open).
+    /// `two_phase_pipeline` (`enable`/`disable`), `pipeline_depth`
+    /// (windows in flight, ≥ 1), `lio_obs` (`enable`/`disable` — force
+    /// metrics recording at open).
     ///
     /// ```
     /// use lio_core::{Engine, Hints, SievingMode};
@@ -224,6 +283,19 @@ impl Hints {
                         _ => return Err(format!("bad bool {v:?} for {k}")),
                     }
                 }
+                "two_phase_pipeline" => {
+                    self.two_phase_pipeline = match v {
+                        "enable" | "true" | "1" => true,
+                        "disable" | "false" | "0" => false,
+                        _ => return Err(format!("bad setting {v:?} for {k}")),
+                    }
+                }
+                "pipeline_depth" => {
+                    self.pipeline_depth = v
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad count {v:?} for {k}"))?
+                        .max(1);
+                }
                 "lio_obs" => {
                     self.obs = match v {
                         "enable" | "true" | "1" => Some(true),
@@ -272,6 +344,21 @@ mod info_tests {
             .is_err());
         assert!(Hints::default()
             .apply_info([("detect_dense_writes", "maybe")])
+            .is_err());
+    }
+
+    #[test]
+    fn pipeline_info_keys() {
+        let h = Hints::default()
+            .apply_info([("two_phase_pipeline", "enable"), ("pipeline_depth", "3")])
+            .unwrap();
+        assert!(h.two_phase_pipeline);
+        assert_eq!(h.pipeline_depth, 3);
+        assert!(Hints::default()
+            .apply_info([("two_phase_pipeline", "maybe")])
+            .is_err());
+        assert!(Hints::default()
+            .apply_info([("pipeline_depth", "deep")])
             .is_err());
     }
 

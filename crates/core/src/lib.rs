@@ -42,6 +42,7 @@ pub mod error;
 pub mod file;
 pub mod hints;
 pub mod packer;
+pub mod pipeline;
 pub mod sieve;
 pub mod twophase;
 pub mod view;

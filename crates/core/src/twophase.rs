@@ -21,11 +21,17 @@
 //!   carry *only data*; placement uses flattening-on-the-fly, and the
 //!   covered-window test is one `O(depth)` mergeview evaluation.
 //!
-//! One deliberate simplification relative to ROMIO: data for a whole file
-//! domain is exchanged in one message per (AP, IOP) pair instead of being
-//! pipelined window by window. This preserves communication volume and
-//! all list-handling costs (the quantities the paper measures) at the
-//! price of a larger transient memory footprint.
+//! Two exchange schedules share this file's skeleton. The default
+//! (monolithic) schedule ships data for a whole file domain in one
+//! message per (AP, IOP) pair — communication volume and list-handling
+//! costs (the quantities the paper measures) are preserved at the price
+//! of a larger transient memory footprint and strictly additive
+//! exchange/storage phases. The **pipelined** schedule
+//! ([`crate::pipeline`], selected by the `two_phase_pipeline` hint or
+//! the `LIO_PIPELINE` environment variable) ships the same bytes window
+//! by window with credit-based flow control, bounding IOP memory at
+//! `O(pipeline_depth · cb_buffer_size · nprocs)` and overlapping storage
+//! I/O with the exchange.
 
 use lio_datatype::{bytes_below_tiled, serialize, Datatype, Field};
 use lio_mpi::Comm;
@@ -46,24 +52,30 @@ use crate::view::{FfNav, FileView, ViewNav};
 // ol-list metadata shipped (list-based engine only; always 0 for listless —
 // the paper's "16 bytes per tuple" overhead), `exchange.data_bytes` the
 // payload proper.
-static OBS_W_CALLS: LazyCounter = LazyCounter::new("core.coll.write.calls");
-static OBS_W_EXCH_NS: LazyCounter = LazyCounter::new("core.coll.write.exchange_ns");
-static OBS_W_IO_NS: LazyCounter = LazyCounter::new("core.coll.write.io_ns");
-static OBS_W_PACK_NS: LazyCounter = LazyCounter::new("core.coll.write.pack_ns");
-static OBS_R_CALLS: LazyCounter = LazyCounter::new("core.coll.read.calls");
-static OBS_R_EXCH_NS: LazyCounter = LazyCounter::new("core.coll.read.exchange_ns");
-static OBS_R_IO_NS: LazyCounter = LazyCounter::new("core.coll.read.io_ns");
-static OBS_R_PACK_NS: LazyCounter = LazyCounter::new("core.coll.read.pack_ns");
-static OBS_EXCH_LIST_BYTES: LazyCounter = LazyCounter::new("core.coll.exchange.list_bytes");
-static OBS_EXCH_DATA_BYTES: LazyCounter = LazyCounter::new("core.coll.exchange.data_bytes");
-static OBS_WINDOWS: LazyCounter = LazyCounter::new("core.coll.windows");
+pub(crate) static OBS_W_CALLS: LazyCounter = LazyCounter::new("core.coll.write.calls");
+pub(crate) static OBS_W_EXCH_NS: LazyCounter = LazyCounter::new("core.coll.write.exchange_ns");
+pub(crate) static OBS_W_IO_NS: LazyCounter = LazyCounter::new("core.coll.write.io_ns");
+pub(crate) static OBS_W_PACK_NS: LazyCounter = LazyCounter::new("core.coll.write.pack_ns");
+pub(crate) static OBS_R_CALLS: LazyCounter = LazyCounter::new("core.coll.read.calls");
+pub(crate) static OBS_R_EXCH_NS: LazyCounter = LazyCounter::new("core.coll.read.exchange_ns");
+pub(crate) static OBS_R_IO_NS: LazyCounter = LazyCounter::new("core.coll.read.io_ns");
+pub(crate) static OBS_R_PACK_NS: LazyCounter = LazyCounter::new("core.coll.read.pack_ns");
+pub(crate) static OBS_EXCH_LIST_BYTES: LazyCounter =
+    LazyCounter::new("core.coll.exchange.list_bytes");
+pub(crate) static OBS_EXCH_DATA_BYTES: LazyCounter =
+    LazyCounter::new("core.coll.exchange.data_bytes");
+pub(crate) static OBS_WINDOWS: LazyCounter = LazyCounter::new("core.coll.windows");
 
 /// Tag for the ol-list message (list-based engine only).
-const TAG_TP_LIST: u64 = 101;
+pub(crate) const TAG_TP_LIST: u64 = 101;
 /// Tag for AP→IOP write data / access headers.
-const TAG_TP_DATA: u64 = 102;
+pub(crate) const TAG_TP_DATA: u64 = 102;
 /// Tag for IOP→AP read data.
-const TAG_TP_RDATA: u64 = 103;
+pub(crate) const TAG_TP_RDATA: u64 = 103;
+/// Tag for one window's worth of AP→IOP write data (pipelined path).
+pub(crate) const TAG_TP_WIN: u64 = 104;
+/// Tag for IOP→AP flow-control credits (pipelined path).
+pub(crate) const TAG_TP_CREDIT: u64 = 105;
 
 /// Collective state established at `set_view` time.
 pub(crate) struct CollState {
@@ -165,7 +177,7 @@ fn build_mergeview(views: &[FileView]) -> Result<Option<MergeView>> {
 
 /// This rank's absolute access range for `total` stream bytes from
 /// `stream_start`; `None` when empty.
-fn access_range(nav: &ViewNav, stream_start: u64, total: u64) -> Option<(u64, u64)> {
+pub(crate) fn access_range(nav: &ViewNav, stream_start: u64, total: u64) -> Option<(u64, u64)> {
     if total == 0 {
         return None;
     }
@@ -175,10 +187,10 @@ fn access_range(nav: &ViewNav, stream_start: u64, total: u64) -> Option<(u64, u6
 }
 
 /// Per-IOP file domains plus each rank's access range.
-type Domains = (Vec<(u64, u64)>, Vec<Option<(u64, u64)>>);
+pub(crate) type Domains = (Vec<(u64, u64)>, Vec<Option<(u64, u64)>>);
 
 /// Exchange access ranges and compute the per-IOP file domains.
-fn file_domains(comm: &Comm, range: Option<(u64, u64)>, hints: &Hints) -> Domains {
+pub(crate) fn file_domains(comm: &Comm, range: Option<(u64, u64)>, hints: &Hints) -> Domains {
     let mut msg = [0u8; 16];
     let (lo, hi) = range.unwrap_or((u64::MAX, 0));
     msg[0..8].copy_from_slice(&lo.to_le_bytes());
@@ -210,7 +222,7 @@ fn file_domains(comm: &Comm, range: Option<(u64, u64)>, hints: &Hints) -> Domain
 
 /// The intersection of this rank's stream interval with an IOP domain,
 /// expressed in stream positions.
-fn stream_intersection(
+pub(crate) fn stream_intersection(
     nav: &ViewNav,
     stream_start: u64,
     stream_end: u64,
@@ -224,7 +236,7 @@ fn stream_intersection(
 /// Serialize this rank's access runs within `dom` as an absolute ol-list
 /// (the list the list-based AP must build and ship for every collective
 /// access).
-fn build_access_list(nav: &ViewNav, s_lo: u64, s_hi: u64, dom: (u64, u64)) -> Vec<u8> {
+pub(crate) fn build_access_list(nav: &ViewNav, s_lo: u64, s_hi: u64, dom: (u64, u64)) -> Vec<u8> {
     let mut out = Vec::new();
     if s_hi <= s_lo {
         return out;
@@ -261,26 +273,35 @@ struct RecvList {
     data_pos: usize,
 }
 
+/// Decode serialized `(offset, len)` pairs (the wire form of
+/// [`build_access_list`]).
+pub(crate) fn parse_ol_list(list_bytes: &[u8]) -> Result<Vec<(u64, u64)>> {
+    if !list_bytes.len().is_multiple_of(16) {
+        return Err(IoError::Usage("malformed access list".into()));
+    }
+    Ok(list_bytes
+        .chunks_exact(16)
+        .map(|c| {
+            (
+                u64::from_le_bytes(c[0..8].try_into().expect("offset")),
+                u64::from_le_bytes(c[8..16].try_into().expect("len")),
+            )
+        })
+        .collect())
+}
+
 impl RecvList {
-    fn parse(list_bytes: &[u8], data: Vec<u8>) -> Result<RecvList> {
-        if !list_bytes.len().is_multiple_of(16) {
-            return Err(IoError::Usage("malformed access list".into()));
-        }
-        let segs: Vec<(u64, u64)> = list_bytes
-            .chunks_exact(16)
-            .map(|c| {
-                (
-                    u64::from_le_bytes(c[0..8].try_into().expect("offset")),
-                    u64::from_le_bytes(c[8..16].try_into().expect("len")),
-                )
-            })
-            .collect();
+    /// Parse a received list and adopt the data message as-is; `base` is
+    /// where the payload starts inside `data` (the 16-byte header is
+    /// skipped by offset rather than copied out — zero-copy receive).
+    fn parse(list_bytes: &[u8], data: Vec<u8>, base: usize) -> Result<RecvList> {
+        let segs = parse_ol_list(list_bytes)?;
         Ok(RecvList {
             segs,
             data,
             seg_i: 0,
             seg_off: 0,
-            data_pos: 0,
+            data_pos: base,
         })
     }
 
@@ -347,27 +368,27 @@ impl RecvList {
 
 /// Cursor over a merged ol-list for covered-window tests (the list-based
 /// collective-write optimization).
-struct Coverage {
+pub(crate) struct Coverage {
     segs: Vec<(u64, u64)>,
     i: usize,
 }
 
 impl Coverage {
     /// Merge per-AP lists (`O(Σ_p N(p))` as the paper notes).
-    fn merge(lists: &[&RecvList]) -> Coverage {
+    pub(crate) fn merge_segs(lists: &[&[(u64, u64)]]) -> Coverage {
         let mut all: Vec<(u64, u64)> = Vec::new();
         let mut cursors = vec![0usize; lists.len()];
         loop {
             let mut best: Option<(usize, u64)> = None;
             for (li, l) in lists.iter().enumerate() {
-                if let Some(&(off, _)) = l.segs.get(cursors[li]) {
+                if let Some(&(off, _)) = l.get(cursors[li]) {
                     if best.is_none_or(|(_, o)| off < o) {
                         best = Some((li, off));
                     }
                 }
             }
             let Some((li, _)) = best else { break };
-            let (off, len) = lists[li].segs[cursors[li]];
+            let (off, len) = lists[li][cursors[li]];
             cursors[li] += 1;
             if let Some(last) = all.last_mut() {
                 if off <= last.0 + last.1 {
@@ -381,9 +402,14 @@ impl Coverage {
         Coverage { segs: all, i: 0 }
     }
 
+    fn merge(lists: &[&RecvList]) -> Coverage {
+        let segs: Vec<&[(u64, u64)]> = lists.iter().map(|l| l.segs.as_slice()).collect();
+        Coverage::merge_segs(&segs)
+    }
+
     /// Whether `[lo, hi)` is fully inside one merged segment. Windows are
     /// probed in increasing order, so a cursor suffices.
-    fn covered(&mut self, lo: u64, hi: u64) -> bool {
+    pub(crate) fn covered(&mut self, lo: u64, hi: u64) -> bool {
         // skip segments that end at or before the window: they can never
         // cover this or any later window
         while self.i < self.segs.len() && self.segs[self.i].0 + self.segs[self.i].1 <= lo {
@@ -396,12 +422,21 @@ impl Coverage {
     }
 }
 
-/// Listless placement bookkeeping for one AP at one IOP.
+/// Listless placement bookkeeping for one AP at one IOP. Adopts the
+/// received message wholesale; `base` marks where the payload starts
+/// (past the 16-byte header) so no re-allocating copy is made.
 struct FfPlacement<'a> {
     nav: &'a FfNav,
-    data: Vec<u8>,
+    msg: Vec<u8>,
+    base: usize,
     s_lo: u64,
     s_hi: u64,
+}
+
+impl FfPlacement<'_> {
+    fn data(&self) -> &[u8] {
+        &self.msg[self.base..]
+    }
 }
 
 /// Collective write. Every rank calls this; returns bytes written by this
@@ -418,6 +453,19 @@ pub(crate) fn write_at_all(
     total: u64,
     hints: &Hints,
 ) -> Result<u64> {
+    if hints.pipeline_enabled() {
+        return crate::pipeline::write_at_all(
+            storage,
+            comm,
+            state,
+            nav,
+            packer,
+            user,
+            stream_start,
+            total,
+            hints,
+        );
+    }
     let engine = match nav {
         ViewNav::List(_) => Engine::ListBased,
         ViewNav::Ff(_) => Engine::Listless,
@@ -480,14 +528,32 @@ pub(crate) fn write_at_all(
         let dom = domains[me];
         match engine {
             Engine::ListBased => {
-                let mut recv: Vec<RecvList> = Vec::with_capacity(comm.size());
+                // Complete receives in arrival order (no head-of-line
+                // blocking on rank 0), then assemble in rank order.
+                let p_n = comm.size();
+                let mut lists: Vec<Option<Vec<u8>>> = (0..p_n).map(|_| None).collect();
+                let mut datas: Vec<Option<Vec<u8>>> = (0..p_n).map(|_| None).collect();
                 let t = lio_obs::now();
-                for p in 0..comm.size() {
-                    let list_bytes = comm.recv(p, TAG_TP_LIST);
-                    let msg = comm.recv(p, TAG_TP_DATA);
-                    recv.push(RecvList::parse(&list_bytes, msg[16..].to_vec())?);
+                let mut reqs: Vec<lio_mpi::Request> = Vec::with_capacity(2 * p_n);
+                for p in 0..p_n {
+                    reqs.push(comm.irecv(p, TAG_TP_LIST));
+                    reqs.push(comm.irecv(p, TAG_TP_DATA));
+                }
+                for _ in 0..2 * p_n {
+                    let (i, src, payload) = comm.wait_any(&mut reqs);
+                    if i % 2 == 0 {
+                        lists[src] = Some(payload);
+                    } else {
+                        datas[src] = Some(payload);
+                    }
                 }
                 exch_ns += lio_obs::elapsed_ns(t);
+                let mut recv: Vec<RecvList> = Vec::with_capacity(p_n);
+                for (list_bytes, msg) in lists.iter().zip(datas) {
+                    let list_bytes = list_bytes.as_ref().expect("all lists received");
+                    let msg = msg.expect("all data messages received");
+                    recv.push(RecvList::parse(list_bytes, msg, 16)?);
+                }
                 iop_write_listbased(storage, dom, &mut recv, hints)?;
             }
             Engine::Listless => {
@@ -495,20 +561,29 @@ pub(crate) fn write_at_all(
                     .remote_navs
                     .as_ref()
                     .expect("listless collective requires cached fileviews");
-                let mut placements: Vec<FfPlacement> = Vec::with_capacity(comm.size());
+                let p_n = comm.size();
+                let mut msgs: Vec<Option<Vec<u8>>> = (0..p_n).map(|_| None).collect();
                 let t = lio_obs::now();
-                for (p, nav_p) in navs.iter().enumerate() {
-                    let msg = comm.recv(p, TAG_TP_DATA);
+                let mut reqs: Vec<lio_mpi::Request> =
+                    (0..p_n).map(|p| comm.irecv(p, TAG_TP_DATA)).collect();
+                for _ in 0..p_n {
+                    let (_, src, payload) = comm.wait_any(&mut reqs);
+                    msgs[src] = Some(payload);
+                }
+                exch_ns += lio_obs::elapsed_ns(t);
+                let mut placements: Vec<FfPlacement> = Vec::with_capacity(p_n);
+                for (nav_p, msg) in navs.iter().zip(msgs) {
+                    let msg = msg.expect("all data messages received");
                     let s_lo = u64::from_le_bytes(msg[0..8].try_into().expect("s_lo"));
                     let s_hi = u64::from_le_bytes(msg[8..16].try_into().expect("s_hi"));
                     placements.push(FfPlacement {
                         nav: nav_p,
-                        data: msg[16..].to_vec(),
+                        msg,
+                        base: 16,
                         s_lo,
                         s_hi,
                     });
                 }
-                exch_ns += lio_obs::elapsed_ns(t);
                 iop_write_listless(storage, dom, &mut placements, state, hints)?;
             }
         }
@@ -655,9 +730,9 @@ fn iop_write_listless(
                 }
                 let a = cursors[k];
                 let off = (a - p.s_lo) as usize;
-                let placed = p
-                    .nav
-                    .place_window(&p.data[off..off + takes[k] as usize], a, fb, win);
+                let placed =
+                    p.nav
+                        .place_window(&p.data()[off..off + takes[k] as usize], a, fb, win);
                 debug_assert_eq!(placed as u64, takes[k]);
                 cursors[k] += takes[k];
             }
@@ -690,6 +765,19 @@ pub(crate) fn read_at_all(
     total: u64,
     hints: &Hints,
 ) -> Result<u64> {
+    if hints.pipeline_enabled() {
+        return crate::pipeline::read_at_all(
+            storage,
+            comm,
+            state,
+            nav,
+            packer,
+            user,
+            stream_start,
+            total,
+            hints,
+        );
+    }
     let engine = match nav {
         ViewNav::List(_) => Engine::ListBased,
         ViewNav::Ff(_) => Engine::Listless,
@@ -749,7 +837,7 @@ pub(crate) fn read_at_all(
                 for p in 0..comm.size() {
                     let list_bytes = comm.recv(p, TAG_TP_LIST);
                     let _hdr = comm.recv(p, TAG_TP_DATA);
-                    recv.push(RecvList::parse(&list_bytes, Vec::new())?);
+                    recv.push(RecvList::parse(&list_bytes, Vec::new(), 0)?);
                     outs.push(Vec::new());
                 }
                 exch_ns += lio_obs::elapsed_ns(t);

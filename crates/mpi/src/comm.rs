@@ -6,9 +6,15 @@
 //! *volume* — the quantity the paper's two-phase analysis hinges on — is
 //! faithfully represented, with shared-memory transport standing in for
 //! the SX's internode crossbar.
+//!
+//! Besides blocking `send`/`recv`, the communicator offers nonblocking
+//! operations ([`Comm::isend`], [`Comm::irecv`]) returning [`Request`]
+//! handles completed by [`Comm::wait`], [`Comm::test`] or
+//! [`Comm::wait_any`] — the primitives the pipelined two-phase engine
+//! uses to complete receives in arrival order instead of rank order.
 
-use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -29,6 +35,13 @@ pub const ANY_SOURCE: usize = usize::MAX;
 
 /// Tag space reserved for collective operations; user tags must be below.
 const COLL_TAG_BASE: u64 = 1 << 32;
+
+/// How many mismatched messages one probing sweep will drain from a
+/// single source's channel before moving on. This bounds how much a
+/// peer flooding one tag can grow the pending stash (and starve other
+/// sources) per receive call; without a budget, a probe would drain an
+/// entire flood into `pending` before even looking at the next source.
+const DRAIN_BUDGET: usize = 32;
 
 /// A message in flight.
 #[derive(Debug)]
@@ -53,6 +66,33 @@ pub(crate) struct WorldCounters {
     pub bytes: Vec<AtomicU64>,
 }
 
+/// A nonblocking operation handle, MPI-request style. Created by
+/// [`Comm::isend`]/[`Comm::irecv`]; completed (and consumed) by exactly
+/// one of [`Comm::wait`], [`Comm::test`] or [`Comm::wait_any`].
+#[derive(Debug)]
+pub struct Request {
+    state: ReqState,
+}
+
+#[derive(Debug)]
+enum ReqState {
+    /// An eager send: transport buffers unboundedly, so the send
+    /// completed at post time; the handle exists for MPI-shaped call
+    /// sites.
+    SendDone,
+    /// A posted receive, not yet matched.
+    Recv { src: usize, tag: u64 },
+    /// Completed and consumed.
+    Done,
+}
+
+impl Request {
+    /// Whether the request has been consumed by `wait`/`test`/`wait_any`.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, ReqState::Done)
+    }
+}
+
 /// One rank's endpoint of the communicator.
 ///
 /// A `Comm` is owned by exactly one thread (it is `Send` but not `Sync`);
@@ -64,8 +104,13 @@ pub struct Comm {
     senders: Vec<Sender<Message>>,
     /// receivers[q] yields messages sent by rank q.
     receivers: Vec<Receiver<Message>>,
-    /// Out-of-order messages already drained from a channel, per source.
-    pending: RefCell<Vec<VecDeque<Message>>>,
+    /// Out-of-order messages already drained from a channel, stashed per
+    /// (source, tag) so matching is a map lookup instead of a linear
+    /// scan over everything a flooding peer has queued.
+    pending: RefCell<Vec<BTreeMap<u64, VecDeque<Vec<u8>>>>>,
+    /// Where the next `recv_any`/`try_recv_any` sweep starts, rotated on
+    /// every match so one source cannot be favored structurally.
+    rr_next: Cell<usize>,
     /// Sequence number disambiguating successive collective operations.
     coll_seq: RefCell<u64>,
     counters: Arc<WorldCounters>,
@@ -84,7 +129,8 @@ impl Comm {
             size,
             senders,
             receivers,
-            pending: RefCell::new((0..size).map(|_| VecDeque::new()).collect()),
+            pending: RefCell::new((0..size).map(|_| BTreeMap::new()).collect()),
+            rr_next: Cell::new(0),
             coll_seq: RefCell::new(0),
             counters,
         }
@@ -120,6 +166,17 @@ impl Comm {
         s
     }
 
+    /// Messages currently parked in the out-of-order stash (receives
+    /// posted for other (source, tag) pairs drained them from the
+    /// channels). Exposed so tests can assert the stash stays bounded.
+    pub fn stashed_msgs(&self) -> usize {
+        self.pending
+            .borrow()
+            .iter()
+            .map(|m| m.values().map(|q| q.len()).sum::<usize>())
+            .sum()
+    }
+
     // ----- point-to-point -------------------------------------------------
 
     /// Send `payload` to rank `dst` with a user `tag` (must be `< 2^32`).
@@ -150,6 +207,24 @@ impl Comm {
             .expect("receiver rank terminated with messages in flight");
     }
 
+    fn stash(&self, src: usize, tag: u64, payload: Vec<u8>) {
+        self.pending.borrow_mut()[src]
+            .entry(tag)
+            .or_default()
+            .push_back(payload);
+    }
+
+    fn unstash(&self, src: usize, tag: u64) -> Option<Vec<u8>> {
+        let mut pending = self.pending.borrow_mut();
+        let map = &mut pending[src];
+        let q = map.get_mut(&tag)?;
+        let p = q.pop_front()?;
+        if q.is_empty() {
+            map.remove(&tag);
+        }
+        Some(p)
+    }
+
     /// Receive the next message from `src` carrying `tag` (blocking,
     /// in-order per (src, tag) as in MPI).
     pub fn recv(&self, src: usize, tag: u64) -> Vec<u8> {
@@ -158,13 +233,8 @@ impl Comm {
 
     pub(crate) fn recv_raw(&self, src: usize, tag: u64) -> Vec<u8> {
         assert!(src < self.size, "source rank {src} out of range");
-        // check the stash first
-        {
-            let mut pending = self.pending.borrow_mut();
-            let q = &mut pending[src];
-            if let Some(i) = q.iter().position(|m| m.tag == tag) {
-                return q.remove(i).expect("index in range").payload;
-            }
+        if let Some(p) = self.unstash(src, tag) {
+            return p;
         }
         // drain the channel until the tag appears
         loop {
@@ -175,33 +245,156 @@ impl Comm {
             if msg.tag == tag {
                 return msg.payload;
             }
-            self.pending.borrow_mut()[src].push_back(msg);
+            self.stash(src, msg.tag, msg.payload);
         }
     }
 
+    /// Nonblocking receive attempt from a specific source.
+    fn try_recv_from(&self, src: usize, tag: u64) -> Option<Vec<u8>> {
+        if let Some(p) = self.unstash(src, tag) {
+            return Some(p);
+        }
+        for _ in 0..DRAIN_BUDGET {
+            match self.receivers[src].try_recv() {
+                Ok(msg) => {
+                    if msg.tag == tag {
+                        return Some(msg.payload);
+                    }
+                    self.stash(src, msg.tag, msg.payload);
+                }
+                Err(_) => break,
+            }
+        }
+        None
+    }
+
     /// Receive the next message with `tag` from any source; returns
-    /// `(src, payload)`. Sources are polled fairly.
+    /// `(src, payload)`. Sources are polled fairly: sweeps start at a
+    /// rotating offset and drain at most [`DRAIN_BUDGET`] mismatched
+    /// messages per source before moving on, so a peer flooding another
+    /// tag can neither starve the others nor balloon the stash.
     pub fn recv_any(&self, tag: u64) -> (usize, Vec<u8>) {
-        // check stashes first
-        {
-            let mut pending = self.pending.borrow_mut();
-            for src in 0..self.size {
-                let q = &mut pending[src];
-                if let Some(i) = q.iter().position(|m| m.tag == tag) {
-                    return (src, q.remove(i).expect("index in range").payload);
+        loop {
+            if let Some(r) = self.try_recv_any(tag) {
+                return r;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Nonblocking [`Comm::recv_any`]: one fair sweep over stash and
+    /// channels; `None` when no matching message has arrived yet.
+    pub fn try_recv_any(&self, tag: u64) -> Option<(usize, Vec<u8>)> {
+        let start = self.rr_next.get();
+        for k in 0..self.size {
+            let src = (start + k) % self.size;
+            if let Some(p) = self.unstash(src, tag) {
+                self.rr_next.set((src + 1) % self.size);
+                return Some((src, p));
+            }
+        }
+        for k in 0..self.size {
+            let src = (start + k) % self.size;
+            for _ in 0..DRAIN_BUDGET {
+                match self.receivers[src].try_recv() {
+                    Ok(msg) => {
+                        if msg.tag == tag {
+                            self.rr_next.set((src + 1) % self.size);
+                            return Some((src, msg.payload));
+                        }
+                        self.stash(src, msg.tag, msg.payload);
+                    }
+                    Err(_) => break,
                 }
             }
         }
-        // poll channels round-robin (a select over a dynamic set)
+        None
+    }
+
+    // ----- nonblocking requests ------------------------------------------
+
+    /// Nonblocking send. Transport is buffered, so the send completes
+    /// eagerly; the returned request must still be completed with
+    /// `wait`/`test`/`wait_any` (MPI shape).
+    pub fn isend(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Request {
+        self.send_vec(dst, tag, payload);
+        Request {
+            state: ReqState::SendDone,
+        }
+    }
+
+    /// Post a nonblocking receive for `(src, tag)`.
+    pub fn irecv(&self, src: usize, tag: u64) -> Request {
+        assert!(src < self.size, "source rank {src} out of range");
+        Request {
+            state: ReqState::Recv { src, tag },
+        }
+    }
+
+    /// Block until `req` completes; returns `(src, payload)` (for a send
+    /// request: `(self.rank(), empty)`). Panics on a consumed request.
+    pub fn wait(&self, req: &mut Request) -> (usize, Vec<u8>) {
+        match std::mem::replace(&mut req.state, ReqState::Done) {
+            ReqState::SendDone => (self.rank, Vec::new()),
+            ReqState::Recv { src, tag } => (src, self.recv_raw(src, tag)),
+            ReqState::Done => panic!("wait on a completed request"),
+        }
+    }
+
+    /// Complete `req` without blocking, if possible. Panics on a
+    /// consumed request.
+    pub fn test(&self, req: &mut Request) -> Option<(usize, Vec<u8>)> {
+        match req.state {
+            ReqState::SendDone => {
+                req.state = ReqState::Done;
+                Some((self.rank, Vec::new()))
+            }
+            ReqState::Recv { src, tag } => {
+                let p = self.try_recv_from(src, tag)?;
+                req.state = ReqState::Done;
+                Some((src, p))
+            }
+            ReqState::Done => panic!("test on a completed request"),
+        }
+    }
+
+    /// Block until *some* active request in `reqs` completes; returns
+    /// `(index, src, payload)`. Completion follows arrival order across
+    /// sources — no head-of-line blocking on low ranks. Consumed
+    /// requests are skipped; panics if every request is consumed.
+    pub fn wait_any(&self, reqs: &mut [Request]) -> (usize, usize, Vec<u8>) {
+        assert!(
+            reqs.iter().any(|r| !r.is_done()),
+            "wait_any on no active requests"
+        );
         loop {
+            for (i, r) in reqs.iter_mut().enumerate() {
+                match r.state {
+                    ReqState::SendDone => {
+                        r.state = ReqState::Done;
+                        return (i, self.rank, Vec::new());
+                    }
+                    ReqState::Recv { src, tag } => {
+                        if let Some(p) = self.unstash(src, tag) {
+                            r.state = ReqState::Done;
+                            return (i, src, p);
+                        }
+                    }
+                    ReqState::Done => {}
+                }
+            }
+            // Nothing stashed matches: pull whatever has arrived into the
+            // stash (budgeted per source), then rescan.
             let mut progressed = false;
             for src in 0..self.size {
-                while let Ok(msg) = self.receivers[src].try_recv() {
-                    progressed = true;
-                    if msg.tag == tag {
-                        return (src, msg.payload);
+                for _ in 0..DRAIN_BUDGET {
+                    match self.receivers[src].try_recv() {
+                        Ok(msg) => {
+                            progressed = true;
+                            self.stash(src, msg.tag, msg.payload);
+                        }
+                        Err(_) => break,
                     }
-                    self.pending.borrow_mut()[src].push_back(msg);
                 }
             }
             if !progressed {
@@ -325,6 +518,59 @@ mod tests {
                         assert_eq!(m, vec![src as u8, round as u8]);
                     }
                 }
+            }
+        });
+    }
+
+    #[test]
+    fn isend_irecv_wait() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut s = comm.isend(1, 9, b"hello".to_vec());
+                let (src, p) = comm.wait(&mut s);
+                assert_eq!((src, p), (0, vec![]));
+                assert!(s.is_done());
+            } else {
+                let mut r = comm.irecv(0, 9);
+                let (src, p) = comm.wait(&mut r);
+                assert_eq!(src, 0);
+                assert_eq!(p, b"hello");
+            }
+        });
+    }
+
+    #[test]
+    fn test_completes_without_blocking() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.recv(1, 2); // sync: rank 1's data msg already sent
+                let mut r = comm.irecv(1, 1);
+                let (src, p) = comm.test(&mut r).expect("message already arrived");
+                assert_eq!((src, p.as_slice()), (1, &b"x"[..]));
+            } else {
+                comm.send(0, 1, b"x");
+                comm.send(0, 2, b"go");
+            }
+        });
+    }
+
+    #[test]
+    fn wait_any_completes_in_arrival_order() {
+        World::run(4, |comm| {
+            if comm.rank() == 0 {
+                let mut reqs: Vec<_> = (1..4).map(|p| comm.irecv(p, 11)).collect();
+                let mut got = Vec::new();
+                for _ in 0..3 {
+                    let (i, src, p) = comm.wait_any(&mut reqs);
+                    assert_eq!(src, i + 1);
+                    assert_eq!(p, vec![src as u8]);
+                    got.push(src);
+                }
+                got.sort_unstable();
+                assert_eq!(got, vec![1, 2, 3]);
+                assert!(reqs.iter().all(|r| r.is_done()));
+            } else {
+                comm.send(0, 11, &[comm.rank() as u8]);
             }
         });
     }

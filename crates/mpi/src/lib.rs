@@ -20,5 +20,5 @@ pub mod coll;
 pub mod comm;
 pub mod world;
 
-pub use comm::{Comm, CommStats, ANY_SOURCE};
+pub use comm::{Comm, CommStats, Request, ANY_SOURCE};
 pub use world::World;

@@ -1,0 +1,81 @@
+//! Regression tests for receive fairness and stash growth: a peer
+//! flooding one tag must neither starve other sources in `recv_any`
+//! nor balloon the out-of-order `pending` stash.
+
+use std::time::Duration;
+
+use lio_mpi::World;
+
+const TAG_FLOOD: u64 = 1;
+const TAG_WANTED: u64 = 2;
+const TAG_STOP: u64 = 3;
+const TAG_COUNT: u64 = 4;
+
+/// Rank 1 floods rank 0 with `TAG_FLOOD` messages until told to stop;
+/// rank 2 sends one `TAG_WANTED` message after a delay. Rank 0's
+/// `recv_any(TAG_WANTED)` must find it while draining only a bounded
+/// number of flood messages into the stash.
+#[test]
+fn recv_any_survives_flood_with_bounded_stash() {
+    World::run(3, |comm| match comm.rank() {
+        0 => {
+            let (src, payload) = comm.recv_any(TAG_WANTED);
+            assert_eq!(src, 2);
+            assert_eq!(payload, b"wanted");
+            // The budgeted sweep may park some flood messages per probe,
+            // but must not have drained the whole flood into the stash.
+            let stashed = comm.stashed_msgs();
+            comm.send(1, TAG_STOP, b"");
+            let count = comm.recv(1, TAG_COUNT);
+            let sent = u64::from_le_bytes(count[..8].try_into().unwrap());
+            // drain the flood so no messages are left in flight at exit
+            for _ in 0..sent {
+                comm.recv(1, TAG_FLOOD);
+            }
+            assert!(
+                stashed <= 4096,
+                "stash grew unboundedly under flood: {stashed} messages parked"
+            );
+            assert!(sent >= 100, "flood too small to exercise the stash: {sent}");
+        }
+        1 => {
+            let mut stop = comm.irecv(0, TAG_STOP);
+            let mut sent = 0u64;
+            while comm.test(&mut stop).is_none() {
+                comm.send(0, TAG_FLOOD, &[0u8; 8]);
+                sent += 1;
+            }
+            comm.send(0, TAG_COUNT, &sent.to_le_bytes());
+        }
+        _ => {
+            // give the flood a head start so the test means something
+            std::thread::sleep(Duration::from_millis(30));
+            comm.send(0, TAG_WANTED, b"wanted");
+        }
+    });
+}
+
+/// Out-of-order receives keyed by (source, tag) still match after a
+/// large same-source flood on a different tag has been stashed.
+#[test]
+fn stashed_flood_still_matched_by_tag() {
+    World::run(2, |comm| {
+        if comm.rank() == 0 {
+            // The wanted message sits behind 5000 flood messages in the
+            // same channel; recv must drain past them and later receives
+            // of the flood tag must pop the stash in FIFO order.
+            assert_eq!(comm.recv(1, TAG_WANTED), b"behind the flood");
+            assert_eq!(comm.stashed_msgs(), 5000);
+            for i in 0..5000u64 {
+                let m = comm.recv(1, TAG_FLOOD);
+                assert_eq!(m, i.to_le_bytes());
+            }
+            assert_eq!(comm.stashed_msgs(), 0);
+        } else {
+            for i in 0..5000u64 {
+                comm.send(0, TAG_FLOOD, &i.to_le_bytes());
+            }
+            comm.send(0, TAG_WANTED, b"behind the flood");
+        }
+    });
+}

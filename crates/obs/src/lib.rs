@@ -541,6 +541,14 @@ impl Snapshot {
             .map_or(0, |(_, v)| *v)
     }
 
+    /// Look up a gauge by name; 0 if absent.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
     /// Look up a histogram by name.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms

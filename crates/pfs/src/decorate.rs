@@ -4,7 +4,7 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use lio_obs::{LazyCounter, LazyHistogram};
+use lio_obs::{LazyCounter, LazyGauge, LazyHistogram};
 
 use crate::file::StorageFile;
 
@@ -21,14 +21,26 @@ static OBS_READ_SIZE: LazyHistogram = LazyHistogram::new("pfs.read.size");
 static OBS_WRITE_SIZE: LazyHistogram = LazyHistogram::new("pfs.write.size");
 static OBS_THROTTLE_NS: LazyCounter = LazyCounter::new("pfs.throttle.delay_ns");
 static OBS_FAULTS_INJECTED: LazyCounter = LazyCounter::new("pfs.faults.injected");
+/// High-water mark of concurrently in-flight throttled storage ops,
+/// process-wide. > 1 proves the pipelined collective engine genuinely
+/// overlapped storage accesses (reads against writes, or storage
+/// against exchange on another rank).
+static OBS_OPS_INFLIGHT_MAX: LazyGauge = LazyGauge::new("pfs.ops.inflight_max");
+
+/// Current in-flight throttled ops across all [`ThrottledFile`]s.
+static THROTTLE_INFLIGHT: AtomicU64 = AtomicU64::new(0);
 
 /// A bandwidth/latency model emulating a particular storage system.
 ///
 /// The paper's SX-6 testbed sustains ~6.5 GB/s writes and ~8 GB/s reads
 /// ([`Throttle::sx6_local_fs`]). Each access costs `latency` plus
-/// `bytes / bandwidth`; the delay is realized with a calibrated spin-wait
-/// so that sub-microsecond costs are representable (OS sleep granularity
-/// is far too coarse at these rates).
+/// `bytes / bandwidth`. Short delays are realized with a calibrated
+/// spin-wait so that sub-microsecond costs are representable (OS sleep
+/// granularity is far too coarse at these rates); long delays sleep for
+/// the bulk and spin only the tail, so a modelled slow device genuinely
+/// yields the CPU — required for the pipelined collective engine's
+/// storage/exchange overlap to be real rather than an artifact of
+/// busy-waiting threads contending for cores.
 #[derive(Debug, Clone, Copy)]
 pub struct Throttle {
     /// Sustained read bandwidth in bytes/second.
@@ -85,27 +97,54 @@ impl<F: StorageFile> ThrottledFile<F> {
     }
 }
 
-fn spin_for(d: Duration) {
+/// Spin-only tail of a hybrid delay: delays at most this long (and the
+/// final stretch of longer ones) busy-wait for precision; everything
+/// above sleeps first so the waiting thread yields its core.
+const SPIN_TAIL: Duration = Duration::from_micros(100);
+
+fn throttle_delay(d: Duration) {
     let start = Instant::now();
+    if d > SPIN_TAIL.saturating_mul(2) {
+        std::thread::sleep(d - SPIN_TAIL);
+    }
     while start.elapsed() < d {
         std::hint::spin_loop();
     }
 }
 
+/// RAII guard maintaining the in-flight-ops high-water mark.
+struct InflightOp;
+
+impl InflightOp {
+    fn enter() -> InflightOp {
+        let cur = THROTTLE_INFLIGHT.fetch_add(1, Ordering::Relaxed) + 1;
+        OBS_OPS_INFLIGHT_MAX.record_max(cur);
+        InflightOp
+    }
+}
+
+impl Drop for InflightOp {
+    fn drop(&mut self) {
+        THROTTLE_INFLIGHT.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 impl<F: StorageFile> StorageFile for ThrottledFile<F> {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let _op = InflightOp::enter();
         let n = self.inner.read_at(offset, buf)?;
         let d = self.throttle.delay_for(n, false);
         OBS_THROTTLE_NS.add(d.as_nanos() as u64);
-        spin_for(d);
+        throttle_delay(d);
         Ok(n)
     }
 
     fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<usize> {
+        let _op = InflightOp::enter();
         let n = self.inner.write_at(offset, buf)?;
         let d = self.throttle.delay_for(n, true);
         OBS_THROTTLE_NS.add(d.as_nanos() as u64);
-        spin_for(d);
+        throttle_delay(d);
         Ok(n)
     }
 
