@@ -25,4 +25,23 @@ LIO_PIPELINE=0 cargo test -q -p lio-core --test collective --test pipeline
 echo "== collective suites under LIO_PIPELINE=1"
 LIO_PIPELINE=1 cargo test -q -p lio-core --test collective --test pipeline
 
+# Fault corpus: the three fixed seeds plus a rotating, commit-derived
+# seed so the corpus keeps widening over time without losing replay
+# determinism (the seed depends only on the commit, never the clock).
+# On failure, replay the exact schedule with:
+#   LIO_FAULT_SEED=<seed> LIO_PIPELINE=<0|1> \
+#     cargo test -p lio-core --test collective --test pipeline --test faults
+ROTATING_SEED="0x$(git rev-parse --short=8 HEAD 2>/dev/null || echo 5EED)"
+for seed in 7 0xBAD5EED 0x5C032003 "$ROTATING_SEED"; do
+  for pipe in 0 1; do
+    echo "== fault corpus: LIO_FAULT_SEED=$seed LIO_PIPELINE=$pipe"
+    if ! LIO_FAULT_SEED=$seed LIO_PIPELINE=$pipe \
+        cargo test -q -p lio-core --test collective --test pipeline --test faults; then
+      echo "FAULT CORPUS FAILURE — replay with:"
+      echo "  LIO_FAULT_SEED=$seed LIO_PIPELINE=$pipe cargo test -p lio-core --test collective --test pipeline --test faults"
+      exit 1
+    fi
+  done
+done
+
 echo "CI OK"

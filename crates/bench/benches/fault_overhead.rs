@@ -1,0 +1,63 @@
+//! Cost of a dormant fault injector on the storage hot path.
+//!
+//! The acceptance bar for `FaultyFile` is that an *inactive* plan is
+//! within noise (< 2%) of the bare storage file: the wrapper stays
+//! permanently in place in the test harness, so its disabled path must
+//! be a single branch. As in `obs_overhead`, the closest measurable
+//! baseline is the bare path measured twice — the run-to-run delta
+//! bounds the noise floor — and an active plan is measured alongside to
+//! show what injection actually costs when armed.
+
+use lio_bench::harness::Group;
+use lio_pfs::decorate::{FaultPlan, FaultyFile};
+use lio_pfs::{MemFile, StorageFile};
+use std::hint::black_box;
+
+fn main() {
+    lio_obs::set_enabled(false);
+    // Small requests maximize per-call overhead relative to memcpy work.
+    let reqs = 4096usize;
+    let req = 256usize;
+    let bare = MemFile::with_data(vec![0xA5u8; reqs * req]);
+    let dormant = FaultyFile::new(MemFile::with_data(vec![0xA5u8; reqs * req]), {
+        FaultPlan::disabled()
+    });
+    // Survivable plan, worst-case odds: every access rolls the dice.
+    let armed = FaultyFile::new(
+        MemFile::with_data(vec![0xA5u8; reqs * req]),
+        FaultPlan::seeded(0xFA11),
+    );
+
+    let mut buf = vec![0u8; req];
+    let mut g = Group::new("fault_overhead");
+    g.sample_size(30).throughput_bytes((reqs * req) as u64);
+
+    let sweep = |f: &dyn StorageFile, buf: &mut [u8]| {
+        for i in 0..reqs {
+            // injected transients/short reads are irrelevant to timing;
+            // consume the result so the call cannot be elided
+            let _ = black_box(f.read_at((i * req) as u64, black_box(buf)));
+        }
+    };
+
+    let base_a = g.bench("read_bare_a", || sweep(&bare, &mut buf));
+    let base_b = g.bench("read_bare_b", || sweep(&bare, &mut buf));
+    let idle = g.bench("read_faulty_disabled", || sweep(&dormant, &mut buf));
+    let active = g.bench("read_faulty_armed", || sweep(&armed, &mut buf));
+
+    let base = base_a.median_ns.min(base_b.median_ns);
+    let noise_pct = (base_a.median_ns - base_b.median_ns).abs() / base * 100.0;
+    let idle_pct = (idle.median_ns - base) / base * 100.0;
+    let active_pct = (active.median_ns - base) / base * 100.0;
+    println!("bare run-to-run delta:      {noise_pct:.2}% (noise floor)");
+    println!("disabled plan vs bare:      {idle_pct:+.2}%");
+    println!("armed plan vs bare:         {active_pct:+.2}%");
+    let verdict = if idle_pct < 2.0_f64.max(noise_pct) {
+        "PASS"
+    } else if noise_pct >= 2.0 {
+        "CHECK (noisy host)"
+    } else {
+        "FAIL"
+    };
+    println!("disabled-cost-within-noise (<2%): {verdict}");
+}

@@ -428,9 +428,10 @@ impl<'c> File<'c> {
         self.nav.abs_to_stream(abs).div_ceil(esize)
     }
 
-    /// Flush the storage backend.
+    /// Flush the storage backend, retrying transient flush faults with
+    /// bounded backoff ([`lio_pfs::retry`]).
     pub fn sync(&self) -> Result<()> {
-        self.shared.storage.sync()?;
+        lio_pfs::retry::sync_with_retry(self.shared.storage.as_ref())?;
         Ok(())
     }
 

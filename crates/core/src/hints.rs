@@ -31,9 +31,40 @@ pub enum SievingMode {
     Auto,
 }
 
+/// A malformed `MPI_Info` value: the key is recognized, but the value
+/// cannot be parsed. Carries enough structure for callers to report or
+/// match on the failing pair instead of string-scraping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HintError {
+    /// The recognized info key whose value failed to parse.
+    pub key: String,
+    /// The offending value, verbatim.
+    pub value: String,
+    /// What a valid value would have looked like.
+    pub reason: String,
+}
+
+impl std::fmt::Display for HintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad hint {}={:?}: {}", self.key, self.value, self.reason)
+    }
+}
+
+impl std::error::Error for HintError {}
+
+impl HintError {
+    fn new(key: &str, value: &str, reason: impl Into<String>) -> HintError {
+        HintError {
+            key: key.to_string(),
+            value: value.to_string(),
+            reason: reason.into(),
+        }
+    }
+}
+
 /// Per-file tuning knobs (ROMIO's `ind_rd_buffer_size`,
 /// `cb_buffer_size`, `cb_nodes`, ... equivalents).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hints {
     /// Engine selection.
     pub engine: Engine,
@@ -223,7 +254,7 @@ mod tests {
 impl Hints {
     /// Parse ROMIO-style `MPI_Info` key/value pairs into hints, starting
     /// from `self`. Unknown keys are ignored (the `MPI_Info` contract);
-    /// malformed values return an error string.
+    /// malformed values return a typed [`HintError`] naming the pair.
     ///
     /// Recognized keys: `engine` (`list_based`/`listless`),
     /// `ind_rd_buffer_size`, `ind_wr_buffer_size` (both map to the single
@@ -245,68 +276,141 @@ impl Hints {
     pub fn apply_info<'a>(
         mut self,
         pairs: impl IntoIterator<Item = (&'a str, &'a str)>,
-    ) -> std::result::Result<Hints, String> {
+    ) -> std::result::Result<Hints, HintError> {
         for (k, v) in pairs {
             match k {
                 "engine" => {
                     self.engine = match v {
                         "list_based" | "list-based" => Engine::ListBased,
                         "listless" => Engine::Listless,
-                        _ => return Err(format!("unknown engine {v:?}")),
+                        _ => return Err(HintError::new(k, v, "expected list_based or listless")),
                     }
                 }
                 "ind_rd_buffer_size" | "ind_wr_buffer_size" => {
-                    let n: usize = v.parse().map_err(|_| format!("bad size {v:?} for {k}"))?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| HintError::new(k, v, "expected a byte count"))?;
                     self.ind_buffer_size = self.ind_buffer_size.max(n.max(1));
                 }
                 "cb_buffer_size" => {
                     self.cb_buffer_size = v
                         .parse::<usize>()
-                        .map_err(|_| format!("bad size {v:?} for {k}"))?
+                        .map_err(|_| HintError::new(k, v, "expected a byte count"))?
                         .max(1);
                 }
                 "cb_nodes" => {
-                    self.cb_nodes = v.parse().map_err(|_| format!("bad count {v:?} for {k}"))?;
+                    self.cb_nodes = v
+                        .parse()
+                        .map_err(|_| HintError::new(k, v, "expected a process count"))?;
                 }
                 "romio_ds_write" | "romio_ds_read" => {
                     self.sieving = match v {
                         "enable" => SievingMode::Sieve,
                         "disable" => SievingMode::Direct,
                         "automatic" => SievingMode::Auto,
-                        _ => return Err(format!("unknown sieving setting {v:?}")),
+                        _ => {
+                            return Err(HintError::new(
+                                k,
+                                v,
+                                "expected enable, disable, or automatic",
+                            ))
+                        }
                     }
                 }
                 "detect_dense_writes" => {
                     self.detect_dense_writes = match v {
                         "true" => true,
                         "false" => false,
-                        _ => return Err(format!("bad bool {v:?} for {k}")),
+                        _ => return Err(HintError::new(k, v, "expected true or false")),
                     }
                 }
                 "two_phase_pipeline" => {
                     self.two_phase_pipeline = match v {
                         "enable" | "true" | "1" => true,
                         "disable" | "false" | "0" => false,
-                        _ => return Err(format!("bad setting {v:?} for {k}")),
+                        _ => return Err(HintError::new(k, v, "expected enable or disable")),
                     }
                 }
                 "pipeline_depth" => {
                     self.pipeline_depth = v
                         .parse::<usize>()
-                        .map_err(|_| format!("bad count {v:?} for {k}"))?
+                        .map_err(|_| HintError::new(k, v, "expected a window count"))?
                         .max(1);
                 }
                 "lio_obs" => {
                     self.obs = match v {
                         "enable" | "true" | "1" => Some(true),
                         "disable" | "false" | "0" => Some(false),
-                        _ => return Err(format!("bad setting {v:?} for {k}")),
+                        _ => return Err(HintError::new(k, v, "expected enable or disable")),
                     }
                 }
                 _ => {} // unknown keys are ignored, like MPI_Info
             }
         }
         Ok(self)
+    }
+
+    /// Serialize these hints back to `MPI_Info` pairs. Every recognized
+    /// key that [`Hints::apply_info`] parses is emitted (the read/write
+    /// sieving aliases collapse to `romio_ds_write`; `lio_obs` only
+    /// appears when the hint forces observability one way), so
+    /// `base.apply_info(h.to_info_pairs())` reconstructs `h` for any base
+    /// whose independent buffer does not exceed `h`'s (the
+    /// `ind_*_buffer_size` keys are larger-wins by the ROMIO contract).
+    pub fn to_info(&self) -> Vec<(String, String)> {
+        let mut pairs = vec![
+            (
+                "engine".to_string(),
+                match self.engine {
+                    Engine::ListBased => "list_based".to_string(),
+                    Engine::Listless => "listless".to_string(),
+                },
+            ),
+            (
+                "ind_rd_buffer_size".to_string(),
+                self.ind_buffer_size.to_string(),
+            ),
+            (
+                "ind_wr_buffer_size".to_string(),
+                self.ind_buffer_size.to_string(),
+            ),
+            (
+                "cb_buffer_size".to_string(),
+                self.cb_buffer_size.to_string(),
+            ),
+            ("cb_nodes".to_string(), self.cb_nodes.to_string()),
+            (
+                "romio_ds_write".to_string(),
+                match self.sieving {
+                    SievingMode::Sieve => "enable".to_string(),
+                    SievingMode::Direct => "disable".to_string(),
+                    SievingMode::Auto => "automatic".to_string(),
+                },
+            ),
+            (
+                "detect_dense_writes".to_string(),
+                self.detect_dense_writes.to_string(),
+            ),
+            (
+                "two_phase_pipeline".to_string(),
+                if self.two_phase_pipeline {
+                    "enable".to_string()
+                } else {
+                    "disable".to_string()
+                },
+            ),
+            (
+                "pipeline_depth".to_string(),
+                self.pipeline_depth.to_string(),
+            ),
+        ];
+        if let Some(on) = self.obs {
+            pairs.push((
+                "lio_obs".to_string(),
+                if on { "enable" } else { "disable" }.to_string(),
+            ));
+        }
+        pairs
     }
 }
 

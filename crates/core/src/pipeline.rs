@@ -42,12 +42,12 @@ use lio_pfs::StorageFile;
 use crate::error::{IoError, Result};
 use crate::hints::{Engine, Hints};
 use crate::packer::MemPacker;
-use crate::sieve::read_window;
+use crate::sieve::{read_window, write_window};
 use crate::twophase::{
     access_range, build_access_list, file_domains, parse_ol_list, stream_intersection, CollState,
-    Coverage, MergeView, OBS_EXCH_DATA_BYTES, OBS_EXCH_LIST_BYTES, OBS_R_CALLS, OBS_R_EXCH_NS,
-    OBS_R_IO_NS, OBS_R_PACK_NS, OBS_WINDOWS, OBS_W_CALLS, OBS_W_EXCH_NS, OBS_W_IO_NS,
-    OBS_W_PACK_NS, TAG_TP_CREDIT, TAG_TP_DATA, TAG_TP_LIST, TAG_TP_RDATA, TAG_TP_WIN,
+    Coverage, MergeView, OBS_EXCH_DATA_BYTES, OBS_EXCH_LIST_BYTES, OBS_FAULT_ABORTS, OBS_R_CALLS,
+    OBS_R_EXCH_NS, OBS_R_IO_NS, OBS_R_PACK_NS, OBS_WINDOWS, OBS_W_CALLS, OBS_W_EXCH_NS,
+    OBS_W_IO_NS, OBS_W_PACK_NS, TAG_TP_CREDIT, TAG_TP_DATA, TAG_TP_LIST, TAG_TP_RDATA, TAG_TP_WIN,
 };
 use crate::view::{FfNav, ViewNav};
 
@@ -596,10 +596,7 @@ fn spawn_write_lane<'scope>(
     scope.spawn(move || {
         for job in rx.iter() {
             let t = lio_obs::now();
-            let res = storage
-                .write_at(job.off, &job.buf[..job.len])
-                .map(|_| ())
-                .map_err(IoError::from);
+            let res = write_window(storage, job.off, &job.buf[..job.len]);
             io_ns.fetch_add(lio_obs::elapsed_ns(t), Ordering::Relaxed);
             if done.send(LaneDone::Write { buf: job.buf, res }).is_err() {
                 break;
@@ -1007,7 +1004,10 @@ pub(crate) fn write_at_all(
         OBS_W_OVERLAP_NS.add((exch_ns + pack_ns + io_ns).saturating_sub(wall));
     }
     match fatal {
-        Some(e) => Err(e),
+        Some(e) => {
+            OBS_FAULT_ABORTS.incr();
+            Err(e)
+        }
         None => Ok(total),
     }
 }
@@ -1208,7 +1208,10 @@ pub(crate) fn read_at_all(
         OBS_R_OVERLAP_NS.add((exch_ns + pack_ns + io_ns).saturating_sub(wall));
     }
     match fatal {
-        Some(e) => Err(e),
+        Some(e) => {
+            OBS_FAULT_ABORTS.incr();
+            Err(e)
+        }
         None => Ok(total),
     }
 }

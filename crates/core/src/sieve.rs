@@ -13,11 +13,20 @@ use crate::packer::MemPacker;
 use crate::view::ViewNav;
 
 /// Read `storage[offset..]` into `buf`, zero-filling anything past EOF.
+/// Short reads are resumed and transient errors retried with bounded
+/// backoff ([`lio_pfs::retry`]), so the result is short only at EOF.
 pub(crate) fn read_window(storage: &dyn StorageFile, offset: u64, buf: &mut [u8]) -> Result<()> {
-    let n = storage.read_at(offset, buf)?;
+    let n = lio_pfs::retry::read_full_at(storage, offset, buf)?;
     if n < buf.len() {
         buf[n..].fill(0);
     }
+    Ok(())
+}
+
+/// Write all of `buf` at `offset`, resuming short writes and retrying
+/// transient errors with bounded backoff.
+pub(crate) fn write_window(storage: &dyn StorageFile, offset: u64, buf: &[u8]) -> Result<()> {
+    lio_pfs::retry::write_full_at(storage, offset, buf)?;
     Ok(())
 }
 
@@ -104,7 +113,7 @@ fn write_contiguous_region(
 ) -> Result<u64> {
     if let Some(slice) = packer.contig_slice(user, 0, total) {
         // c-c: a single zero-copy write
-        storage.write_at(abs, slice)?;
+        write_window(storage, abs, slice)?;
         return Ok(total);
     }
     // nc-c: pack through an intermediate buffer
@@ -115,7 +124,7 @@ fn write_contiguous_region(
         let n = ((total - done) as usize).min(packbuf.len());
         let got = packer.pack(user, done, &mut packbuf[..n]);
         debug_assert_eq!(got, n);
-        storage.write_at(abs + done, &packbuf[..n])?;
+        write_window(storage, abs + done, &packbuf[..n])?;
         done += n as u64;
     }
     Ok(total)
@@ -148,7 +157,7 @@ fn write_direct(
         chunk.resize(run_len as usize, 0);
         let got = packer.pack(user, done, &mut chunk);
         debug_assert_eq!(got as u64, run_len);
-        storage.write_at(abs, &chunk)?;
+        write_window(storage, abs, &chunk)?;
         done += run_len;
         stream += run_len;
     }
@@ -224,7 +233,7 @@ fn write_sieved(
         }
         let placed = nav.place_into_window(&packbuf[..nb], stream, fb, win_start);
         debug_assert_eq!(placed, nb);
-        storage.write_at(win_start, fb)?;
+        write_window(storage, win_start, fb)?;
         drop(_guard);
 
         stream += n;

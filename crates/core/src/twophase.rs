@@ -41,7 +41,7 @@ use lio_pfs::StorageFile;
 use crate::error::{IoError, Result};
 use crate::hints::{Engine, Hints};
 use crate::packer::MemPacker;
-use crate::sieve::read_window;
+use crate::sieve::{read_window, write_window};
 use crate::view::{FfNav, FileView, ViewNav};
 
 // Two-phase breakdown metrics. The `_ns` counters accumulate wall time per
@@ -65,6 +65,9 @@ pub(crate) static OBS_EXCH_LIST_BYTES: LazyCounter =
 pub(crate) static OBS_EXCH_DATA_BYTES: LazyCounter =
     LazyCounter::new("core.coll.exchange.data_bytes");
 pub(crate) static OBS_WINDOWS: LazyCounter = LazyCounter::new("core.coll.windows");
+/// Collective calls that aborted on a permanent storage fault — counted
+/// after the closing rank-sync, so an abort is always a clean abort.
+pub(crate) static OBS_FAULT_ABORTS: LazyCounter = LazyCounter::new("core.coll.fault_aborts");
 
 /// Tag for the ol-list message (list-based engine only).
 pub(crate) const TAG_TP_LIST: u64 = 101;
@@ -524,68 +527,79 @@ pub(crate) fn write_at_all(
     }
 
     // ----- IOP phase ----------------------------------------------------
+    // A storage fault on an IOP must not strand the other ranks at the
+    // closing barrier, so IOP errors are captured, every rank reaches the
+    // barrier, and the error surfaces only after the world is in sync.
+    // (All AP→IOP messages were received above the window loop, so an
+    // aborted IOP leaves nothing in flight.)
+    let mut fatal: Option<IoError> = None;
     if me < naggr && domains[me].1 > domains[me].0 {
         let dom = domains[me];
-        match engine {
-            Engine::ListBased => {
-                // Complete receives in arrival order (no head-of-line
-                // blocking on rank 0), then assemble in rank order.
-                let p_n = comm.size();
-                let mut lists: Vec<Option<Vec<u8>>> = (0..p_n).map(|_| None).collect();
-                let mut datas: Vec<Option<Vec<u8>>> = (0..p_n).map(|_| None).collect();
-                let t = lio_obs::now();
-                let mut reqs: Vec<lio_mpi::Request> = Vec::with_capacity(2 * p_n);
-                for p in 0..p_n {
-                    reqs.push(comm.irecv(p, TAG_TP_LIST));
-                    reqs.push(comm.irecv(p, TAG_TP_DATA));
-                }
-                for _ in 0..2 * p_n {
-                    let (i, src, payload) = comm.wait_any(&mut reqs);
-                    if i % 2 == 0 {
-                        lists[src] = Some(payload);
-                    } else {
-                        datas[src] = Some(payload);
+        let res: Result<()> = (|| {
+            match engine {
+                Engine::ListBased => {
+                    // Complete receives in arrival order (no head-of-line
+                    // blocking on rank 0), then assemble in rank order.
+                    let p_n = comm.size();
+                    let mut lists: Vec<Option<Vec<u8>>> = (0..p_n).map(|_| None).collect();
+                    let mut datas: Vec<Option<Vec<u8>>> = (0..p_n).map(|_| None).collect();
+                    let t = lio_obs::now();
+                    let mut reqs: Vec<lio_mpi::Request> = Vec::with_capacity(2 * p_n);
+                    for p in 0..p_n {
+                        reqs.push(comm.irecv(p, TAG_TP_LIST));
+                        reqs.push(comm.irecv(p, TAG_TP_DATA));
                     }
+                    for _ in 0..2 * p_n {
+                        let (i, src, payload) = comm.wait_any(&mut reqs);
+                        if i % 2 == 0 {
+                            lists[src] = Some(payload);
+                        } else {
+                            datas[src] = Some(payload);
+                        }
+                    }
+                    exch_ns += lio_obs::elapsed_ns(t);
+                    let mut recv: Vec<RecvList> = Vec::with_capacity(p_n);
+                    for (list_bytes, msg) in lists.iter().zip(datas) {
+                        let list_bytes = list_bytes.as_ref().expect("all lists received");
+                        let msg = msg.expect("all data messages received");
+                        recv.push(RecvList::parse(list_bytes, msg, 16)?);
+                    }
+                    iop_write_listbased(storage, dom, &mut recv, hints)
                 }
-                exch_ns += lio_obs::elapsed_ns(t);
-                let mut recv: Vec<RecvList> = Vec::with_capacity(p_n);
-                for (list_bytes, msg) in lists.iter().zip(datas) {
-                    let list_bytes = list_bytes.as_ref().expect("all lists received");
-                    let msg = msg.expect("all data messages received");
-                    recv.push(RecvList::parse(list_bytes, msg, 16)?);
+                Engine::Listless => {
+                    let navs = state
+                        .remote_navs
+                        .as_ref()
+                        .expect("listless collective requires cached fileviews");
+                    let p_n = comm.size();
+                    let mut msgs: Vec<Option<Vec<u8>>> = (0..p_n).map(|_| None).collect();
+                    let t = lio_obs::now();
+                    let mut reqs: Vec<lio_mpi::Request> =
+                        (0..p_n).map(|p| comm.irecv(p, TAG_TP_DATA)).collect();
+                    for _ in 0..p_n {
+                        let (_, src, payload) = comm.wait_any(&mut reqs);
+                        msgs[src] = Some(payload);
+                    }
+                    exch_ns += lio_obs::elapsed_ns(t);
+                    let mut placements: Vec<FfPlacement> = Vec::with_capacity(p_n);
+                    for (nav_p, msg) in navs.iter().zip(msgs) {
+                        let msg = msg.expect("all data messages received");
+                        let s_lo = u64::from_le_bytes(msg[0..8].try_into().expect("s_lo"));
+                        let s_hi = u64::from_le_bytes(msg[8..16].try_into().expect("s_hi"));
+                        placements.push(FfPlacement {
+                            nav: nav_p,
+                            msg,
+                            base: 16,
+                            s_lo,
+                            s_hi,
+                        });
+                    }
+                    iop_write_listless(storage, dom, &mut placements, state, hints)
                 }
-                iop_write_listbased(storage, dom, &mut recv, hints)?;
             }
-            Engine::Listless => {
-                let navs = state
-                    .remote_navs
-                    .as_ref()
-                    .expect("listless collective requires cached fileviews");
-                let p_n = comm.size();
-                let mut msgs: Vec<Option<Vec<u8>>> = (0..p_n).map(|_| None).collect();
-                let t = lio_obs::now();
-                let mut reqs: Vec<lio_mpi::Request> =
-                    (0..p_n).map(|p| comm.irecv(p, TAG_TP_DATA)).collect();
-                for _ in 0..p_n {
-                    let (_, src, payload) = comm.wait_any(&mut reqs);
-                    msgs[src] = Some(payload);
-                }
-                exch_ns += lio_obs::elapsed_ns(t);
-                let mut placements: Vec<FfPlacement> = Vec::with_capacity(p_n);
-                for (nav_p, msg) in navs.iter().zip(msgs) {
-                    let msg = msg.expect("all data messages received");
-                    let s_lo = u64::from_le_bytes(msg[0..8].try_into().expect("s_lo"));
-                    let s_hi = u64::from_le_bytes(msg[8..16].try_into().expect("s_hi"));
-                    placements.push(FfPlacement {
-                        nav: nav_p,
-                        msg,
-                        base: 16,
-                        s_lo,
-                        s_hi,
-                    });
-                }
-                iop_write_listless(storage, dom, &mut placements, state, hints)?;
-            }
+        })();
+        if let Err(e) = res {
+            fatal = Some(e);
         }
     }
 
@@ -596,7 +610,13 @@ pub(crate) fn write_at_all(
         OBS_W_EXCH_NS.add(exch_ns);
         OBS_W_PACK_NS.add(pack_ns);
     }
-    Ok(total)
+    match fatal {
+        Some(e) => {
+            OBS_FAULT_ABORTS.incr();
+            Err(e)
+        }
+        None => Ok(total),
+    }
 }
 
 /// IOP write loop, list-based placement.
@@ -648,7 +668,7 @@ fn iop_write_listbased(
             }
             pack_ns += lio_obs::elapsed_ns(t);
             let t = lio_obs::now();
-            storage.write_at(win, fb)?;
+            write_window(storage, win, fb)?;
             io_ns += lio_obs::elapsed_ns(t);
         }
         win = win_end;
@@ -738,7 +758,7 @@ fn iop_write_listless(
             }
             pack_ns += lio_obs::elapsed_ns(t);
             let t = lio_obs::now();
-            storage.write_at(win, fb)?;
+            write_window(storage, win, fb)?;
             io_ns += lio_obs::elapsed_ns(t);
         }
         win = win_end;
@@ -827,17 +847,33 @@ pub(crate) fn read_at_all(
     }
 
     // ----- IOP phase: read windows and ship each AP its bytes ----------
+    // A storage fault on an IOP must not strand APs waiting for their
+    // reply: errors are captured, every AP still receives a buffer of the
+    // exact promised length (zero-padded past the failure point), and the
+    // error surfaces on this rank after the exchange completes.
+    let mut fatal: Option<IoError> = None;
     if me < naggr && domains[me].1 > domains[me].0 {
         let dom = domains[me];
         match engine {
             Engine::ListBased => {
                 let mut recv: Vec<RecvList> = Vec::with_capacity(comm.size());
                 let mut outs: Vec<Vec<u8>> = Vec::with_capacity(comm.size());
+                // bytes promised to each AP, from the announce header
+                let mut promised: Vec<u64> = Vec::with_capacity(comm.size());
                 let t = lio_obs::now();
                 for p in 0..comm.size() {
                     let list_bytes = comm.recv(p, TAG_TP_LIST);
-                    let _hdr = comm.recv(p, TAG_TP_DATA);
-                    recv.push(RecvList::parse(&list_bytes, Vec::new(), 0)?);
+                    let hdr = comm.recv(p, TAG_TP_DATA);
+                    let s_lo = u64::from_le_bytes(hdr[0..8].try_into().expect("s_lo"));
+                    let s_hi = u64::from_le_bytes(hdr[8..16].try_into().expect("s_hi"));
+                    promised.push(s_hi - s_lo);
+                    match RecvList::parse(&list_bytes, Vec::new(), 0) {
+                        Ok(r) => recv.push(r),
+                        Err(e) => {
+                            fatal.get_or_insert(e);
+                            recv.push(RecvList::parse(&[], Vec::new(), 0).expect("empty list"));
+                        }
+                    }
                     outs.push(Vec::new());
                 }
                 exch_ns += lio_obs::elapsed_ns(t);
@@ -849,7 +885,7 @@ pub(crate) fn read_at_all(
                     let cb = hints.cb_buffer_size as u64;
                     let mut filebuf = vec![0u8; hints.cb_buffer_size];
                     let mut win = lo;
-                    while win < hi {
+                    while win < hi && fatal.is_none() {
                         let win_end = (win + cb).min(hi);
                         let fb = &mut filebuf[..(win_end - win) as usize];
                         let wanted = recv
@@ -860,7 +896,10 @@ pub(crate) fn read_at_all(
                                 OBS_WINDOWS.incr();
                             }
                             let t = lio_obs::now();
-                            read_window(storage, win, fb)?;
+                            if let Err(e) = read_window(storage, win, fb) {
+                                fatal = Some(e);
+                                break;
+                            }
                             io_ns += lio_obs::elapsed_ns(t);
                             let t = lio_obs::now();
                             for (r, out) in recv.iter_mut().zip(outs.iter_mut()) {
@@ -872,7 +911,10 @@ pub(crate) fn read_at_all(
                     }
                 }
                 let t = lio_obs::now();
-                for (p, out) in outs.into_iter().enumerate() {
+                for (p, mut out) in outs.into_iter().enumerate() {
+                    if fatal.is_some() {
+                        out.resize(promised[p] as usize, 0);
+                    }
                     if obs {
                         OBS_EXCH_DATA_BYTES.add(out.len() as u64);
                     }
@@ -937,7 +979,10 @@ pub(crate) fn read_at_all(
                                 OBS_WINDOWS.incr();
                             }
                             let t = lio_obs::now();
-                            read_window(storage, win, fb)?;
+                            if let Err(e) = read_window(storage, win, fb) {
+                                fatal = Some(e);
+                                break;
+                            }
                             io_ns += lio_obs::elapsed_ns(t);
                             let t = lio_obs::now();
                             for (k, nav_p) in navs.iter().enumerate() {
@@ -961,7 +1006,10 @@ pub(crate) fn read_at_all(
                     }
                 }
                 let t = lio_obs::now();
-                for (p, out) in outs.into_iter().enumerate() {
+                for (p, mut out) in outs.into_iter().enumerate() {
+                    if fatal.is_some() {
+                        out.resize((spans[p].1 - spans[p].0) as usize, 0);
+                    }
                     if obs {
                         OBS_EXCH_DATA_BYTES.add(out.len() as u64);
                     }
@@ -994,5 +1042,11 @@ pub(crate) fn read_at_all(
         OBS_R_IO_NS.add(io_ns);
         OBS_R_PACK_NS.add(pack_ns);
     }
-    Ok(total)
+    match fatal {
+        Some(e) => {
+            OBS_FAULT_ABORTS.incr();
+            Err(e)
+        }
+        None => Ok(total),
+    }
 }

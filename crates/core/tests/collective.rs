@@ -4,12 +4,10 @@
 
 mod common;
 
-use common::{pattern, reference_write};
-use lio_core::{File, Hints, SharedFile};
+use common::{apply_comm_faults, pattern, reference_write, test_storage, test_storage_with};
+use lio_core::{File, Hints};
 use lio_datatype::{Datatype, Field, Order};
 use lio_mpi::World;
-use lio_pfs::MemFile;
-use std::sync::Arc;
 
 fn engines() -> Vec<Hints> {
     vec![Hints::list_based(), Hints::listless()]
@@ -46,9 +44,10 @@ fn noncontig_view(p: u64, nprocs: u64, nblock: u64, sblock: u64) -> (u64, Dataty
 /// contain the perfectly interleaved pattern, and collective read-back
 /// must return each rank its own data.
 fn run_noncontig_collective(hints: Hints, nprocs: u64, nblock: u64, sblock: u64) {
-    let shared = SharedFile::new(MemFile::new());
+    let (shared, mem) = test_storage();
     let shared2 = shared.clone();
     World::run(nprocs as usize, move |comm| {
+        apply_comm_faults(comm);
         let me = comm.rank() as u64;
         let (disp, ft) = noncontig_view(me, nprocs, nblock, sblock);
         let mut f = File::open(comm, shared2.clone(), hints).unwrap();
@@ -76,8 +75,7 @@ fn run_noncontig_collective(hints: Hints, nprocs: u64, nblock: u64, sblock: u64)
         let data = pattern((nblock * sblock) as usize, p + 1);
         reference_write(&mut want, disp, &ft, 0, &data);
     }
-    let mut snap = vec![0u8; shared.len() as usize];
-    shared.storage().read_at(0, &mut snap).unwrap();
+    let mut snap = mem.snapshot();
     let n = snap.len().max(want.len());
     snap.resize(n, 0);
     want.resize(n, 0);
@@ -155,9 +153,10 @@ fn collective_tiny_blocks() {
 fn both_engines_produce_identical_files() {
     let mut snaps = Vec::new();
     for h in engines() {
-        let shared = SharedFile::new(MemFile::new());
+        let (shared, mem) = test_storage();
         let shared2 = shared.clone();
         World::run(4, move |comm| {
+            apply_comm_faults(comm);
             let me = comm.rank() as u64;
             let (disp, ft) = noncontig_view(me, 4, 24, 8);
             let mut f = File::open(comm, shared2.clone(), h).unwrap();
@@ -166,9 +165,7 @@ fn both_engines_produce_identical_files() {
             f.write_at_all(0, &data, data.len() as u64, &Datatype::byte())
                 .unwrap();
         });
-        let mut snap = vec![0u8; shared.len() as usize];
-        shared.storage().read_at(0, &mut snap).unwrap();
-        snaps.push(snap);
+        snaps.push(mem.snapshot());
     }
     assert_eq!(snaps[0], snaps[1], "engines disagree on file contents");
 }
@@ -180,9 +177,10 @@ fn collective_subarray_2d_tiles() {
     let cols = 16u64;
     let esz = 8u64;
     for h in engines() {
-        let shared = SharedFile::new(MemFile::new());
+        let (shared, mem) = test_storage();
         let shared2 = shared.clone();
         World::run(4, move |comm| {
+            apply_comm_faults(comm);
             let me = comm.rank() as u64;
             let (r0, c0) = ((me / 2) * rows / 2, (me % 2) * cols / 2);
             let ft = Datatype::subarray(
@@ -207,8 +205,7 @@ fn collective_subarray_2d_tiles() {
         // whole file must be written (tiles partition the array)
         assert_eq!(shared.len(), rows * cols * esz);
         // spot-check the placement of rank 3's tile (bottom-right)
-        let mut snap = vec![0u8; shared.len() as usize];
-        shared.storage().read_at(0, &mut snap).unwrap();
+        let snap = mem.snapshot();
         let d3 = pattern((rows / 2 * cols / 2 * esz) as usize, 3 + 11);
         let row = rows / 2; // first row of the tile
         let off = ((row * cols + cols / 2) * esz) as usize;
@@ -223,9 +220,10 @@ fn collective_subarray_2d_tiles() {
 fn collective_with_noncontig_memtype() {
     // nc-nc collectively: memtype is a strided vector
     for h in engines() {
-        let shared = SharedFile::new(MemFile::new());
+        let (shared, _mem) = test_storage();
         let shared2 = shared.clone();
         World::run(2, move |comm| {
+            apply_comm_faults(comm);
             let me = comm.rank() as u64;
             let (disp, ft) = noncontig_view(me, 2, 8, 16);
             let mt = Datatype::vector(16, 1, 2, &Datatype::double()).unwrap();
@@ -248,17 +246,17 @@ fn collective_with_noncontig_memtype() {
 fn collective_ranks_at_different_offsets() {
     // each rank writes a different offset of the same shared byte view
     for h in engines() {
-        let shared = SharedFile::new(MemFile::new());
+        let (shared, mem) = test_storage();
         let shared2 = shared.clone();
         World::run(4, move |comm| {
+            apply_comm_faults(comm);
             let me = comm.rank() as u64;
             let f = File::open(comm, shared2.clone(), h).unwrap();
             let data = vec![me as u8 + 1; 100];
             f.write_at_all(me * 100, &data, 100, &Datatype::byte())
                 .unwrap();
         });
-        let mut snap = vec![0u8; shared.len() as usize];
-        shared.storage().read_at(0, &mut snap).unwrap();
+        let snap = mem.snapshot();
         assert_eq!(snap.len(), 400);
         for (i, b) in snap.iter().enumerate() {
             assert_eq!(*b as usize, i / 100 + 1);
@@ -270,9 +268,10 @@ fn collective_ranks_at_different_offsets() {
 fn collective_some_ranks_empty() {
     // ranks 2 and 3 contribute nothing but still participate
     for h in engines() {
-        let shared = SharedFile::new(MemFile::new());
+        let (shared, _mem) = test_storage();
         let shared2 = shared.clone();
         World::run(4, move |comm| {
+            apply_comm_faults(comm);
             let me = comm.rank() as u64;
             let f = File::open(comm, shared2.clone(), h).unwrap();
             if me < 2 {
@@ -290,9 +289,10 @@ fn collective_some_ranks_empty() {
 #[test]
 fn collective_all_ranks_empty() {
     for h in engines() {
-        let shared = SharedFile::new(MemFile::new());
+        let (shared, _mem) = test_storage();
         let shared2 = shared.clone();
         World::run(3, move |comm| {
+            apply_comm_faults(comm);
             let f = File::open(comm, shared2.clone(), h).unwrap();
             f.write_at_all(0, &[], 0, &Datatype::byte()).unwrap();
             let mut nothing: Vec<u8> = Vec::new();
@@ -307,9 +307,9 @@ fn collective_all_ranks_empty() {
 fn repeated_collectives_on_same_view() {
     // BTIO writes the array every step: many collectives on one view
     for h in engines() {
-        let shared = SharedFile::new(MemFile::new());
-        let shared2 = shared.clone();
+        let (shared2, _mem) = test_storage();
         World::run(2, move |comm| {
+            apply_comm_faults(comm);
             let me = comm.rank() as u64;
             let (disp, ft) = noncontig_view(me, 2, 8, 8);
             let mut f = File::open(comm, shared2.clone(), h).unwrap();
@@ -344,10 +344,10 @@ fn collective_read_of_preexisting_file() {
     // reads from a file written externally
     for h in engines() {
         let content = pattern(1024, 42);
-        let shared = SharedFile::from_arc(Arc::new(MemFile::with_data(content.clone())));
-        let shared2 = shared.clone();
+        let (shared2, _mem) = test_storage_with(content.clone());
         let content2 = content.clone();
         World::run(4, move |comm| {
+            apply_comm_faults(comm);
             let me = comm.rank() as u64;
             let (disp, ft) = noncontig_view(me, 4, 16, 8);
             let mut f = File::open(comm, shared2.clone(), h).unwrap();
@@ -371,10 +371,11 @@ fn collective_read_of_preexisting_file() {
 #[test]
 fn mixed_engines_independent_of_each_other() {
     // two separate files, one per engine, interleaved in the same world
-    let shared_a = SharedFile::new(MemFile::new());
-    let shared_b = SharedFile::new(MemFile::new());
+    let (shared_a, mem_a) = test_storage();
+    let (shared_b, mem_b) = test_storage();
     let (sa, sb) = (shared_a.clone(), shared_b.clone());
     World::run(2, move |comm| {
+        apply_comm_faults(comm);
         let me = comm.rank() as u64;
         let (disp, ft) = noncontig_view(me, 2, 4, 8);
         let mut fa = File::open(comm, sa.clone(), Hints::list_based()).unwrap();
@@ -385,9 +386,5 @@ fn mixed_engines_independent_of_each_other() {
         fa.write_at_all(0, &data, 32, &Datatype::byte()).unwrap();
         fb.write_at_all(0, &data, 32, &Datatype::byte()).unwrap();
     });
-    let mut a = vec![0u8; shared_a.len() as usize];
-    let mut b = vec![0u8; shared_b.len() as usize];
-    shared_a.storage().read_at(0, &mut a).unwrap();
-    shared_b.storage().read_at(0, &mut b).unwrap();
-    assert_eq!(a, b);
+    assert_eq!(mem_a.snapshot(), mem_b.snapshot());
 }

@@ -3,8 +3,41 @@
 //! Shared test helpers: a deliberately naive reference implementation of
 //! viewed file access, used to differentially test both engines.
 
+use lio_core::SharedFile;
 use lio_datatype::typemap::{expand, reference_pack};
 use lio_datatype::Datatype;
+use lio_pfs::decorate::FaultyFile;
+use lio_pfs::MemFile;
+use std::sync::Arc;
+
+/// Empty test storage honoring `LIO_FAULT_SEED`: when the variable is
+/// set, the shared handle injects that seed's storage fault schedule
+/// ([`lio_testkit::fault_plan`]); either way the returned [`MemFile`] is
+/// an injection-free handle for byte-exact snapshots.
+pub fn test_storage() -> (SharedFile, Arc<MemFile>) {
+    test_storage_with(Vec::new())
+}
+
+/// [`test_storage`] over pre-existing file contents.
+pub fn test_storage_with(data: Vec<u8>) -> (SharedFile, Arc<MemFile>) {
+    let mem = Arc::new(MemFile::with_data(data));
+    let shared = match lio_testkit::env_seed() {
+        Some(seed) => SharedFile::new(FaultyFile::new(
+            Arc::clone(&mem),
+            lio_testkit::fault_plan(seed),
+        )),
+        None => SharedFile::from_arc(Arc::clone(&mem) as Arc<dyn lio_pfs::StorageFile>),
+    };
+    (shared, mem)
+}
+
+/// Arm the rank-local communication fault schedule when `LIO_FAULT_SEED`
+/// is set; a no-op otherwise. Call at the top of a `World::run` closure.
+pub fn apply_comm_faults(comm: &lio_mpi::Comm) {
+    if let Some(seed) = lio_testkit::env_seed() {
+        comm.set_fault_plan(Some(lio_testkit::comm_fault_plan(seed, comm.rank())));
+    }
+}
 
 /// The file bytes that a correct write must produce: walk the view's tiled
 /// runs, skip `stream_start` data bytes, place `data` run by run.

@@ -21,6 +21,8 @@ use std::sync::Arc;
 
 use lio_obs::{LazyCounter, LazyHistogram};
 
+use crate::fault::{CommFaultPlan, CommFaultStats, FaultState};
+
 /// Point-to-point traffic (user sends), distinguished from collective
 /// traffic so the ol-list metadata exchanged inside two-phase collectives
 /// is directly observable against the data it moves.
@@ -44,10 +46,16 @@ const COLL_TAG_BASE: u64 = 1 << 32;
 const DRAIN_BUDGET: usize = 32;
 
 /// A message in flight.
+///
+/// `seq` numbers each (src → dst) channel's messages from 1, always on:
+/// it is what lets a receiver discard injected duplicate deliveries (see
+/// [`crate::fault`]) without any protocol cooperation — exactly-once
+/// delivery is a property of the endpoint, not of the fault plan.
 #[derive(Debug)]
 pub(crate) struct Message {
     pub src: usize,
     pub tag: u64,
+    pub seq: u64,
     pub payload: Vec<u8>,
 }
 
@@ -113,6 +121,13 @@ pub struct Comm {
     rr_next: Cell<usize>,
     /// Sequence number disambiguating successive collective operations.
     coll_seq: RefCell<u64>,
+    /// Next sequence number per destination channel (this rank → dst).
+    send_seq: RefCell<Vec<u64>>,
+    /// Highest sequence accepted per source channel (src → this rank);
+    /// anything at or below it is a duplicate delivery and is dropped.
+    recv_seq: RefCell<Vec<u64>>,
+    /// Optional fault injector for this endpoint.
+    fault: RefCell<Option<FaultState>>,
     counters: Arc<WorldCounters>,
 }
 
@@ -132,8 +147,30 @@ impl Comm {
             pending: RefCell::new((0..size).map(|_| BTreeMap::new()).collect()),
             rr_next: Cell::new(0),
             coll_seq: RefCell::new(0),
+            send_seq: RefCell::new(vec![0; size]),
+            recv_seq: RefCell::new(vec![0; size]),
+            fault: RefCell::new(None),
             counters,
         }
+    }
+
+    /// Install (or clear) a deterministic fault plan on this endpoint.
+    /// Affects only this rank's sends and any-source polls; correctness
+    /// of a well-formed program must not depend on the plan.
+    pub fn set_fault_plan(&self, plan: Option<CommFaultPlan>) {
+        *self.fault.borrow_mut() = plan
+            .filter(|p| p.is_active())
+            .map(|p| FaultState::new(p, self.size));
+    }
+
+    /// What this endpoint's injector has done so far (zeroes if no plan
+    /// is installed).
+    pub fn fault_stats(&self) -> CommFaultStats {
+        self.fault
+            .borrow()
+            .as_ref()
+            .map(|f| f.stats)
+            .unwrap_or_default()
     }
 
     /// This rank's index in `0..size`.
@@ -198,13 +235,65 @@ impl Comm {
         OBS_MSG_SIZE.record(payload.len() as u64);
         self.counters.msgs[self.rank].fetch_add(1, Ordering::Relaxed);
         self.counters.bytes[self.rank].fetch_add(payload.len() as u64, Ordering::Relaxed);
-        self.senders[dst]
-            .send(Message {
-                src: self.rank,
-                tag,
-                payload,
-            })
-            .expect("receiver rank terminated with messages in flight");
+        let seq = {
+            let mut s = self.send_seq.borrow_mut();
+            s[dst] += 1;
+            s[dst]
+        };
+        let dup = match self.fault.borrow_mut().as_mut() {
+            Some(f) => f.dup_send(),
+            None => false,
+        };
+        let mut delivered = false;
+        if dup {
+            // Duplicate delivery: transmit an identical copy first; the
+            // receiver's sequence check discards whichever arrives second.
+            delivered = self.senders[dst]
+                .send(Message {
+                    src: self.rank,
+                    tag,
+                    seq,
+                    payload: payload.clone(),
+                })
+                .is_ok();
+        }
+        let sent = self.senders[dst].send(Message {
+            src: self.rank,
+            tag,
+            seq,
+            payload,
+        });
+        // A receiver that consumed the duplicate copy of its final message
+        // may legitimately terminate before the original is transmitted;
+        // the message was still delivered exactly once. Anything else is a
+        // protocol violation by the program under test.
+        assert!(
+            sent.is_ok() || delivered,
+            "receiver rank terminated with messages in flight"
+        );
+    }
+
+    /// Sequence-check an incoming message: `true` to deliver, `false` if
+    /// it is a duplicate delivery to discard.
+    fn accept(&self, msg: &Message) -> bool {
+        let mut seen = self.recv_seq.borrow_mut();
+        if msg.seq <= seen[msg.src] {
+            if let Some(f) = self.fault.borrow_mut().as_mut() {
+                f.note_dup_dropped();
+            }
+            return false;
+        }
+        seen[msg.src] = msg.seq;
+        true
+    }
+
+    /// Whether an any-source poll should skip `src` this sweep (injected
+    /// delivery delay; bounded, see [`crate::fault`]).
+    fn poll_deferred(&self, src: usize) -> bool {
+        match self.fault.borrow_mut().as_mut() {
+            Some(f) => f.defer_poll(src),
+            None => false,
+        }
     }
 
     fn stash(&self, src: usize, tag: u64, payload: Vec<u8>) {
@@ -242,6 +331,9 @@ impl Comm {
                 .recv()
                 .expect("sender rank terminated while a receive was posted");
             debug_assert_eq!(msg.src, src, "message arrived on the wrong channel");
+            if !self.accept(&msg) {
+                continue;
+            }
             if msg.tag == tag {
                 return msg.payload;
             }
@@ -257,6 +349,9 @@ impl Comm {
         for _ in 0..DRAIN_BUDGET {
             match self.receivers[src].try_recv() {
                 Ok(msg) => {
+                    if !self.accept(&msg) {
+                        continue;
+                    }
                     if msg.tag == tag {
                         return Some(msg.payload);
                     }
@@ -295,9 +390,15 @@ impl Comm {
         }
         for k in 0..self.size {
             let src = (start + k) % self.size;
+            if self.poll_deferred(src) {
+                continue;
+            }
             for _ in 0..DRAIN_BUDGET {
                 match self.receivers[src].try_recv() {
                     Ok(msg) => {
+                        if !self.accept(&msg) {
+                            continue;
+                        }
                         if msg.tag == tag {
                             self.rr_next.set((src + 1) % self.size);
                             return Some((src, msg.payload));
@@ -368,15 +469,23 @@ impl Comm {
             "wait_any on no active requests"
         );
         loop {
-            for (i, r) in reqs.iter_mut().enumerate() {
-                match r.state {
+            // An installed fault plan may rotate the scan start, so which
+            // of several satisfiable requests completes first is
+            // adversarially (but reproducibly) permuted.
+            let start = match self.fault.borrow_mut().as_mut() {
+                Some(f) => f.scan_start(reqs.len()),
+                None => 0,
+            };
+            for k in 0..reqs.len() {
+                let i = (start + k) % reqs.len();
+                match reqs[i].state {
                     ReqState::SendDone => {
-                        r.state = ReqState::Done;
+                        reqs[i].state = ReqState::Done;
                         return (i, self.rank, Vec::new());
                     }
                     ReqState::Recv { src, tag } => {
                         if let Some(p) = self.unstash(src, tag) {
-                            r.state = ReqState::Done;
+                            reqs[i].state = ReqState::Done;
                             return (i, src, p);
                         }
                     }
@@ -387,9 +496,15 @@ impl Comm {
             // stash (budgeted per source), then rescan.
             let mut progressed = false;
             for src in 0..self.size {
+                if self.poll_deferred(src) {
+                    continue;
+                }
                 for _ in 0..DRAIN_BUDGET {
                     match self.receivers[src].try_recv() {
                         Ok(msg) => {
+                            if !self.accept(&msg) {
+                                continue;
+                            }
                             progressed = true;
                             self.stash(src, msg.tag, msg.payload);
                         }

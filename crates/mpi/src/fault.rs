@@ -1,0 +1,163 @@
+//! Deterministic communication-fault injection.
+//!
+//! A [`CommFaultPlan`] perturbs one rank's endpoint under the existing
+//! blocking and nonblocking APIs without ever violating MPI semantics
+//! visible to correct programs:
+//!
+//! * **duplicate deliveries** — a sent message is transmitted twice; the
+//!   always-on per-channel sequence numbers make the receiver drop the
+//!   extra copy, so exactly-once delivery holds *by mechanism*, and the
+//!   injector proves it;
+//! * **delayed deliveries** — on any-source paths (`recv_any`,
+//!   `wait_any`), a source's channel is skipped for a bounded number of
+//!   polls, reshuffling cross-source arrival interleavings while
+//!   preserving per-(source, tag) FIFO order;
+//! * **completion reorder** — `wait_any` scans its request array from a
+//!   seeded rotating start, so which of several satisfiable requests
+//!   completes first is adversarially permuted.
+//!
+//! Decisions come from a seeded xorshift64* stream (the same generator
+//! family as the storage `FaultPlan` corpora in `lio-pfs`), so any
+//! failing interleaving is replayed by its seed alone.
+
+use lio_obs::LazyCounter;
+
+static OBS_DUPS: LazyCounter = LazyCounter::new("mpi.fault.dups");
+static OBS_DELAYS: LazyCounter = LazyCounter::new("mpi.fault.delays");
+
+/// Deterministic fault plan for one rank's [`crate::Comm`] endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommFaultPlan {
+    /// Seed for the decision stream.
+    pub seed: u64,
+    /// Probability (out of 256) that a sent message is delivered twice.
+    pub dup_per_256: u8,
+    /// Probability (out of 256) that an any-source poll of a given
+    /// source is deferred.
+    pub lag_per_256: u8,
+    /// Upper bound on how many consecutive polls one deferral skips.
+    pub max_lag_polls: u8,
+    /// Perturb the `wait_any` scan order with a seeded rotation.
+    pub reorder_scan: bool,
+}
+
+impl CommFaultPlan {
+    /// No perturbation at all.
+    pub fn disabled() -> CommFaultPlan {
+        CommFaultPlan {
+            seed: 0,
+            dup_per_256: 0,
+            lag_per_256: 0,
+            max_lag_polls: 0,
+            reorder_scan: false,
+        }
+    }
+
+    /// Moderate defaults: roughly one message in five duplicated, one
+    /// any-source poll in five deferred for up to three polls, and
+    /// `wait_any` scan order rotated.
+    pub fn seeded(seed: u64) -> CommFaultPlan {
+        CommFaultPlan {
+            seed,
+            dup_per_256: 48,
+            lag_per_256: 48,
+            max_lag_polls: 3,
+            reorder_scan: true,
+        }
+    }
+
+    /// Whether this plan can perturb anything at all.
+    pub fn is_active(&self) -> bool {
+        self.dup_per_256 > 0
+            || (self.lag_per_256 > 0 && self.max_lag_polls > 0)
+            || self.reorder_scan
+    }
+}
+
+/// What one endpoint's injector has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommFaultStats {
+    /// Messages this rank sent twice.
+    pub dups_injected: u64,
+    /// Duplicate copies this rank received and discarded.
+    pub dups_dropped: u64,
+    /// Any-source polls this rank deferred.
+    pub delays_injected: u64,
+}
+
+/// Live injection state behind a [`crate::Comm`] (one per endpoint).
+pub(crate) struct FaultState {
+    plan: CommFaultPlan,
+    rng: u64,
+    /// Remaining polls to skip, per source, on any-source paths.
+    lag: Vec<u32>,
+    pub(crate) stats: CommFaultStats,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: CommFaultPlan, size: usize) -> FaultState {
+        FaultState {
+            plan,
+            rng: plan.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            lag: vec![0; size],
+            stats: CommFaultStats::default(),
+        }
+    }
+
+    fn roll(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Should the message being sent right now be delivered twice?
+    pub(crate) fn dup_send(&mut self) -> bool {
+        if self.plan.dup_per_256 == 0 {
+            return false;
+        }
+        let hit = (self.roll() & 0xFF) < self.plan.dup_per_256 as u64;
+        if hit {
+            self.stats.dups_injected += 1;
+            OBS_DUPS.incr();
+        }
+        hit
+    }
+
+    /// Should this any-source poll skip `src`'s channel? Deferrals are
+    /// counted down per sweep, so they are always bounded — a lagged
+    /// source becomes pollable again after at most `max_lag_polls`
+    /// sweeps and no deadlock is possible.
+    pub(crate) fn defer_poll(&mut self, src: usize) -> bool {
+        if self.lag[src] > 0 {
+            self.lag[src] -= 1;
+            return true;
+        }
+        if self.plan.lag_per_256 == 0 || self.plan.max_lag_polls == 0 {
+            return false;
+        }
+        let r = self.roll();
+        if (r & 0xFF) < self.plan.lag_per_256 as u64 {
+            self.lag[src] = 1 + ((r >> 8) % self.plan.max_lag_polls as u64) as u32;
+            self.stats.delays_injected += 1;
+            OBS_DELAYS.incr();
+            return true;
+        }
+        false
+    }
+
+    /// Seeded start offset for a `wait_any` scan over `n` requests.
+    pub(crate) fn scan_start(&mut self, n: usize) -> usize {
+        if self.plan.reorder_scan && n > 1 {
+            (self.roll() as usize) % n
+        } else {
+            0
+        }
+    }
+
+    pub(crate) fn note_dup_dropped(&mut self) {
+        self.stats.dups_dropped += 1;
+    }
+}

@@ -11,14 +11,19 @@
 //!   channels with MPI-style `(source, tag)` matching, so communication
 //!   volume is physically realized and counted ([`Comm::stats`]);
 //! * collectives (barrier, bcast, gather, allgather, alltoall, allreduce)
-//!   are built on point-to-point, as in an MPI library.
+//!   are built on point-to-point, as in an MPI library;
+//! * a deterministic fault injector ([`CommFaultPlan`]) perturbs delivery
+//!   (duplicates, delays, `wait_any` completion order) without violating
+//!   the semantics correct programs rely on.
 //!
 //! Shared-memory transport stands in for the SX crossbar; see DESIGN.md
 //! for the substitution argument.
 
 pub mod coll;
 pub mod comm;
+pub mod fault;
 pub mod world;
 
 pub use comm::{Comm, CommStats, Request, ANY_SOURCE};
+pub use fault::{CommFaultPlan, CommFaultStats};
 pub use world::World;

@@ -1,7 +1,8 @@
 //! Storage-file decorators: throttling, statistics, and fault injection.
 
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use lio_obs::{LazyCounter, LazyGauge, LazyHistogram};
@@ -104,10 +105,14 @@ const SPIN_TAIL: Duration = Duration::from_micros(100);
 
 fn throttle_delay(d: Duration) {
     let start = Instant::now();
-    if d > SPIN_TAIL.saturating_mul(2) {
+    if d > SPIN_TAIL {
         std::thread::sleep(d - SPIN_TAIL);
     }
-    while start.elapsed() < d {
+    // Clamp the busy-wait to SPIN_TAIL past the sleep: under heavy
+    // oversubscription the sleep overshoots, and an unbounded spin on
+    // `start.elapsed()` would then burn a core well past the deadline.
+    let spin_deadline = Instant::now() + SPIN_TAIL;
+    while start.elapsed() < d && Instant::now() < spin_deadline {
         std::hint::spin_loop();
     }
 }
@@ -283,23 +288,93 @@ impl<F: StorageFile> StorageFile for CountingFile<F> {
     }
 }
 
-/// Fault-injection plan for [`FaultyFile`].
-#[derive(Debug, Clone, Copy)]
+/// Deterministic fault-injection plan for [`FaultyFile`], driven by a
+/// seeded xorshift64* stream — the same generator family as the
+/// differential test corpora, so any failing schedule is replayed by its
+/// seed alone.
+///
+/// Plans without `torn_after` are *survivable by construction*: short
+/// transfers always move at least one byte, transient errors stop after
+/// `max_consecutive_transient` in a row, and flush failures stop after
+/// `flush_fail_first` calls — so a bounded retry/resume loop (see
+/// [`crate::retry`]) always completes. `torn_after` is the deliberate
+/// exception: it models a crash mid-write and is permanent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
-    /// Every `short_every`-th access (1-based) is truncated to half its
-    /// length (0 disables).
-    pub short_every: u64,
-    /// Every `fail_every`-th access returns `ErrorKind::Other` (0
-    /// disables).
-    pub fail_every: u64,
+    /// Seed for the injection decision stream.
+    pub seed: u64,
+    /// Probability (out of 256) that a read or write is truncated to a
+    /// random non-empty prefix.
+    pub short_per_256: u8,
+    /// Probability (out of 256) that a read or write fails with a
+    /// transient error (`WouldBlock`/`Interrupted`/`TimedOut` class).
+    pub transient_per_256: u8,
+    /// Hard cap on consecutively injected transient errors across the
+    /// whole file. Must stay below the retry budget of
+    /// [`crate::retry::RetryPolicy`] for faults to be survivable.
+    pub max_consecutive_transient: u32,
+    /// Fail-stop after this many payload bytes have been submitted for
+    /// writing: the crossing write persists only the prefix up to the
+    /// limit, then it and every later write fail permanently (a torn
+    /// write followed by device loss).
+    pub torn_after: Option<u64>,
+    /// The first k `sync()` calls fail with a transient error.
+    pub flush_fail_first: u32,
 }
 
-/// Wraps a [`StorageFile`] and deterministically injects short transfers
-/// and errors, for exercising the I/O layer's retry/short-read handling.
+impl FaultPlan {
+    /// No faults at all; [`FaultyFile`] degenerates to a passthrough.
+    pub fn disabled() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            short_per_256: 0,
+            transient_per_256: 0,
+            max_consecutive_transient: 0,
+            torn_after: None,
+            flush_fail_first: 0,
+        }
+    }
+
+    /// Moderate survivable defaults: roughly one access in five is
+    /// shortened, one in eight fails transiently (at most three in a
+    /// row), and the first two flushes fail.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            short_per_256: 48,
+            transient_per_256: 32,
+            max_consecutive_transient: 3,
+            torn_after: None,
+            flush_fail_first: 2,
+        }
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.short_per_256 > 0
+            || self.transient_per_256 > 0
+            || self.torn_after.is_some()
+            || self.flush_fail_first > 0
+    }
+}
+
+/// Wraps a [`StorageFile`] and injects faults per a seeded [`FaultPlan`],
+/// for exercising the I/O layers' retry/backoff and short-I/O resumption.
+/// Composes with [`ThrottledFile`]/[`CountingFile`] like any decorator;
+/// wrap an `Arc<MemFile>` to keep an injection-free handle for snapshots.
+///
+/// An inactive plan takes a single-branch fast path, so a `FaultyFile`
+/// left in place costs nothing measurable (gated by the `fault_overhead`
+/// bench, same style as `obs_overhead`).
 pub struct FaultyFile<F> {
     inner: F,
     plan: FaultPlan,
-    ops: AtomicU64,
+    active: bool,
+    rng: Mutex<u64>,
+    consec_transient: AtomicU32,
+    bytes_written: AtomicU64,
+    syncs: AtomicU32,
+    injected: AtomicU64,
 }
 
 impl<F: StorageFile> FaultyFile<F> {
@@ -307,51 +382,126 @@ impl<F: StorageFile> FaultyFile<F> {
     pub fn new(inner: F, plan: FaultPlan) -> FaultyFile<F> {
         FaultyFile {
             inner,
+            active: plan.is_active(),
+            rng: Mutex::new(plan.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
             plan,
-            ops: AtomicU64::new(0),
+            consec_transient: AtomicU32::new(0),
+            bytes_written: AtomicU64::new(0),
+            syncs: AtomicU32::new(0),
+            injected: AtomicU64::new(0),
         }
     }
 
-    fn next_op(&self) -> u64 {
-        self.ops.fetch_add(1, Ordering::Relaxed) + 1
+    /// The wrapped file (bypasses injection — tests snapshot through it).
+    pub fn inner(&self) -> &F {
+        &self.inner
     }
 
-    fn should_fail(&self, op: u64) -> bool {
-        self.plan.fail_every != 0 && op.is_multiple_of(self.plan.fail_every)
+    /// The plan this file injects under.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
     }
 
-    fn should_shorten(&self, op: u64) -> bool {
-        self.plan.short_every != 0 && op.is_multiple_of(self.plan.short_every)
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// One xorshift64* step of the shared decision stream.
+    fn roll(&self) -> u64 {
+        let mut g = self.rng.lock().expect("fault rng poisoned");
+        let mut x = *g;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *g = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn record_injection(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        OBS_FAULTS_INJECTED.incr();
+    }
+
+    /// Claim a transient-error slot unless the consecutive cap is hit.
+    fn claim_transient(&self) -> bool {
+        let max = self.plan.max_consecutive_transient;
+        self.consec_transient
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                (c < max).then_some(c + 1)
+            })
+            .is_ok()
+    }
+
+    fn transient_error(&self, r: u64, op: &str) -> io::Error {
+        let kind = match (r >> 8) % 3 {
+            0 => io::ErrorKind::WouldBlock,
+            1 => io::ErrorKind::Interrupted,
+            _ => io::ErrorKind::TimedOut,
+        };
+        io::Error::new(kind, format!("injected transient {op} fault"))
+    }
+
+    /// Decide the fate of one access of `len` bytes: `Err` injects a
+    /// transient failure, `Ok(Some(keep))` truncates to a non-empty
+    /// prefix, `Ok(None)` passes through untouched.
+    fn fate(&self, len: usize, op: &str) -> io::Result<Option<usize>> {
+        let r = self.roll();
+        if (r & 0xFF) < self.plan.transient_per_256 as u64 && self.claim_transient() {
+            self.record_injection();
+            return Err(self.transient_error(r, op));
+        }
+        self.consec_transient.store(0, Ordering::Relaxed);
+        if ((r >> 16) & 0xFF) < self.plan.short_per_256 as u64 && len > 1 {
+            self.record_injection();
+            return Ok(Some(1 + ((r >> 24) as usize) % (len - 1)));
+        }
+        Ok(None)
     }
 }
 
 impl<F: StorageFile> StorageFile for FaultyFile<F> {
+    // The inactive paths must cost a single predictable branch — gated by
+    // the `fault_overhead` bench — so keep them inlinable.
+    #[inline]
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
-        let op = self.next_op();
-        if self.should_fail(op) {
-            OBS_FAULTS_INJECTED.incr();
-            return Err(io::Error::other("injected read fault"));
+        if !self.active {
+            return self.inner.read_at(offset, buf);
         }
-        if self.should_shorten(op) && buf.len() > 1 {
-            OBS_FAULTS_INJECTED.incr();
-            let half = buf.len() / 2;
-            return self.inner.read_at(offset, &mut buf[..half]);
+        match self.fate(buf.len(), "read")? {
+            Some(keep) => self.inner.read_at(offset, &mut buf[..keep]),
+            None => self.inner.read_at(offset, buf),
         }
-        self.inner.read_at(offset, buf)
     }
 
+    #[inline]
     fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<usize> {
-        let op = self.next_op();
-        if self.should_fail(op) {
-            OBS_FAULTS_INJECTED.incr();
-            return Err(io::Error::other("injected write fault"));
+        if !self.active {
+            return self.inner.write_at(offset, buf);
         }
-        if self.should_shorten(op) && buf.len() > 1 {
-            OBS_FAULTS_INJECTED.incr();
-            let half = buf.len() / 2;
-            return self.inner.write_at(offset, &buf[..half]);
+        if let Some(limit) = self.plan.torn_after {
+            // `bytes_written` counts *attempted* payload bytes, so the
+            // fail-stop point is deterministic even under concurrency.
+            let start = self
+                .bytes_written
+                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+            if start >= limit {
+                self.record_injection();
+                return Err(io::Error::other("injected fail-stop: device lost"));
+            }
+            if start + buf.len() as u64 > limit {
+                let keep = (limit - start) as usize;
+                self.inner.write_at(offset, &buf[..keep])?;
+                self.record_injection();
+                return Err(io::Error::other(
+                    "injected torn write: only a prefix was persisted",
+                ));
+            }
         }
-        self.inner.write_at(offset, buf)
+        match self.fate(buf.len(), "write")? {
+            Some(keep) => self.inner.write_at(offset, &buf[..keep]),
+            None => self.inner.write_at(offset, buf),
+        }
     }
 
     fn len(&self) -> u64 {
@@ -363,6 +513,16 @@ impl<F: StorageFile> StorageFile for FaultyFile<F> {
     }
 
     fn sync(&self) -> io::Result<()> {
+        if self.active && self.plan.flush_fail_first > 0 {
+            let k = self.syncs.fetch_add(1, Ordering::Relaxed);
+            if k < self.plan.flush_fail_first {
+                self.record_injection();
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected flush fault",
+                ));
+            }
+        }
         self.inner.sync()
     }
 }
@@ -439,32 +599,160 @@ mod tests {
     }
 
     #[test]
-    fn faulty_injects_errors() {
-        let f = FaultyFile::new(
-            MemFile::with_data(vec![7; 64]),
-            FaultPlan {
-                short_every: 0,
-                fail_every: 3,
-            },
-        );
-        let mut buf = [0u8; 8];
-        assert!(f.read_at(0, &mut buf).is_ok()); // op 1
-        assert!(f.read_at(0, &mut buf).is_ok()); // op 2
-        assert!(f.read_at(0, &mut buf).is_err()); // op 3
-        assert!(f.read_at(0, &mut buf).is_ok()); // op 4
+    fn throttle_delay_reaches_deadline_in_tail_regime() {
+        // Regression: delays in (SPIN_TAIL, 2·SPIN_TAIL] used to skip the
+        // sleep and busy-spin the whole duration; and the post-sleep spin
+        // was unbounded. The clamped version must still not return early,
+        // in both the tail-only and sleep+tail regimes.
+        for d in [Duration::from_micros(150), Duration::from_millis(5)] {
+            let t0 = Instant::now();
+            throttle_delay(d);
+            let elapsed = t0.elapsed();
+            assert!(elapsed >= d, "delay {d:?} returned after only {elapsed:?}");
+        }
+    }
+
+    /// Outcome signature of an access, for determinism comparisons.
+    fn sig(r: io::Result<usize>) -> String {
+        match r {
+            Ok(n) => format!("ok{n}"),
+            Err(e) => format!("err{:?}", e.kind()),
+        }
     }
 
     #[test]
-    fn faulty_shortens_transfers() {
-        let f = FaultyFile::new(
-            MemFile::with_data(vec![7; 64]),
-            FaultPlan {
-                short_every: 2,
-                fail_every: 0,
-            },
-        );
+    fn faulty_same_seed_same_schedule() {
+        let run = || {
+            let f = FaultyFile::new(MemFile::with_data(vec![7; 256]), FaultPlan::seeded(0xFA11));
+            let mut out = Vec::new();
+            let mut buf = [0u8; 32];
+            for i in 0..64u64 {
+                out.push(sig(f.read_at(i % 200, &mut buf)));
+                out.push(sig(f.write_at(i % 200, &buf)));
+            }
+            out.push(sig(f.sync().map(|()| 0)));
+            out
+        };
+        assert_eq!(run(), run(), "same seed must replay the same schedule");
+    }
+
+    #[test]
+    fn faulty_short_transfers_move_at_least_one_byte() {
+        let plan = FaultPlan {
+            short_per_256: 255,
+            transient_per_256: 0,
+            ..FaultPlan::seeded(7)
+        };
+        let f = FaultyFile::new(MemFile::with_data(vec![7; 256]), plan);
+        let mut buf = [0u8; 64];
+        let mut shortened = 0;
+        for _ in 0..50 {
+            let n = f.read_at(0, &mut buf).unwrap();
+            assert!((1..=64).contains(&n), "short read moved {n} bytes");
+            if n < 64 {
+                shortened += 1;
+            }
+            let n = f.write_at(0, &buf).unwrap();
+            assert!((1..=64).contains(&n), "short write moved {n} bytes");
+        }
+        assert!(shortened > 0, "a 255/256 plan never shortened anything");
+    }
+
+    #[test]
+    fn faulty_transient_runs_bounded_by_cap() {
+        let plan = FaultPlan {
+            short_per_256: 0,
+            transient_per_256: 255,
+            max_consecutive_transient: 3,
+            ..FaultPlan::seeded(11)
+        };
+        let f = FaultyFile::new(MemFile::with_data(vec![7; 64]), plan);
         let mut buf = [0u8; 8];
-        assert_eq!(f.read_at(0, &mut buf).unwrap(), 8); // op 1
-        assert_eq!(f.read_at(0, &mut buf).unwrap(), 4); // op 2: shortened
+        let (mut run, mut max_run, mut errs) = (0u32, 0u32, 0u32);
+        for _ in 0..200 {
+            match f.read_at(0, &mut buf) {
+                Err(e) => {
+                    assert!(
+                        matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock
+                                | io::ErrorKind::Interrupted
+                                | io::ErrorKind::TimedOut
+                        ),
+                        "unexpected kind {:?}",
+                        e.kind()
+                    );
+                    run += 1;
+                    errs += 1;
+                }
+                Ok(_) => run = 0,
+            }
+            max_run = max_run.max(run);
+        }
+        assert!(errs > 0);
+        assert!(
+            max_run <= 3,
+            "cap violated: {max_run} consecutive transients"
+        );
+    }
+
+    #[test]
+    fn faulty_torn_write_persists_prefix_then_fails_permanently() {
+        let plan = FaultPlan {
+            seed: 1,
+            short_per_256: 0,
+            transient_per_256: 0,
+            max_consecutive_transient: 0,
+            torn_after: Some(10),
+            flush_fail_first: 0,
+        };
+        let f = FaultyFile::new(MemFile::new(), plan);
+        assert_eq!(f.write_at(0, &[1u8; 8]).unwrap(), 8);
+        let e = f.write_at(8, &[2u8; 8]).unwrap_err();
+        assert_eq!(
+            e.kind(),
+            io::ErrorKind::Other,
+            "torn write must be permanent"
+        );
+        let snap = f.inner().snapshot();
+        assert_eq!(
+            snap,
+            [1, 1, 1, 1, 1, 1, 1, 1, 2, 2],
+            "prefix up to the limit persists"
+        );
+        assert!(
+            f.write_at(20, &[3u8; 4]).is_err(),
+            "writes after fail-stop all fail"
+        );
+        assert_eq!(
+            f.inner().snapshot().len(),
+            10,
+            "no bytes persisted after fail-stop"
+        );
+    }
+
+    #[test]
+    fn faulty_flush_fails_first_k_then_recovers() {
+        let plan = FaultPlan {
+            flush_fail_first: 2,
+            ..FaultPlan::disabled()
+        };
+        let f = FaultyFile::new(MemFile::new(), FaultPlan { seed: 3, ..plan });
+        assert!(f.sync().is_err());
+        assert!(f.sync().is_err());
+        assert!(f.sync().is_ok());
+        assert_eq!(f.injected(), 2);
+    }
+
+    #[test]
+    fn faulty_disabled_plan_is_passthrough() {
+        let f = FaultyFile::new(MemFile::with_data(vec![9; 128]), FaultPlan::disabled());
+        let mut buf = [0u8; 64];
+        for _ in 0..50 {
+            assert_eq!(f.read_at(0, &mut buf).unwrap(), 64);
+            assert_eq!(f.write_at(0, &buf).unwrap(), 64);
+        }
+        f.sync().unwrap();
+        assert_eq!(f.injected(), 0);
     }
 }

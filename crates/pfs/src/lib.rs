@@ -12,8 +12,9 @@
 //!   emulating slower storage ([`Throttle::sx6_local_fs`],
 //!   [`Throttle::commodity_nfs`]);
 //! * [`CountingFile`] — access/byte counters for the overhead ablations;
-//! * [`FaultyFile`] — deterministic fault injection (short transfers,
-//!   errors);
+//! * [`FaultyFile`] — seeded deterministic fault injection (short
+//!   transfers, transient errors, torn writes, flush failures), with the
+//!   bounded recovery loops in [`retry`];
 //! * [`RangeLock`] — the byte-range lock that data-sieving writes need for
 //!   their read-modify-write cycle;
 //! * [`StripedFile`] — RAID-0-style striping over several backends, the
@@ -23,9 +24,11 @@
 pub mod decorate;
 pub mod file;
 pub mod lock;
+pub mod retry;
 pub mod stripe;
 
 pub use decorate::{CountingFile, FaultPlan, FaultyFile, IoStats, Throttle, ThrottledFile};
 pub use file::{MemFile, StorageFile, UnixFile};
 pub use lock::{RangeGuard, RangeLock};
+pub use retry::{RetryExhausted, RetryPolicy};
 pub use stripe::StripedFile;

@@ -1,0 +1,153 @@
+//! # lio-testkit — deterministic fault-schedule corpus helpers
+//!
+//! The differential fault corpus (`crates/core/tests/faults.rs`) runs
+//! every engine against seeded storage and communication fault plans and
+//! pins the result byte-for-byte against the naive reference. This crate
+//! owns the seed discipline so every test binary derives *the same*
+//! schedule from *the same* seed:
+//!
+//! * [`env_seed`] reads `LIO_FAULT_SEED=<n>` — set it to replay exactly
+//!   the schedule a CI failure printed;
+//! * [`corpus_seeds`] yields the fixed corpus, or just the env seed when
+//!   one is given;
+//! * [`fault_plan`] / [`comm_fault_plan`] map a seed to the storage and
+//!   per-rank communication plans;
+//! * [`repro_hint`] renders the one-line repro command tests embed in
+//!   their assertion messages.
+//!
+//! The RNG here is the same xorshift64* used by the injectors, so helper
+//! code that needs auxiliary randomness (payload patterns, sizes) stays
+//! deterministic per seed too.
+
+use lio_mpi::CommFaultPlan;
+use lio_pfs::decorate::FaultPlan;
+
+/// Seeds every CI run exercises. Three is enough to cover the
+/// short/transient/reorder interactions without dominating test time;
+/// ci.sh adds a rotating fourth derived from the commit hash.
+pub const FIXED_SEEDS: [u64; 3] = [7, 0xBAD5EED, 0x5C03_2003];
+
+/// The `LIO_FAULT_SEED` environment override, if set and parseable.
+///
+/// Accepts decimal (`LIO_FAULT_SEED=12345`) or hex with an `0x` prefix.
+pub fn env_seed() -> Option<u64> {
+    let v = std::env::var("LIO_FAULT_SEED").ok()?;
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+/// The seeds a corpus run should iterate: just the env seed when
+/// `LIO_FAULT_SEED` is set (exact replay), the fixed corpus otherwise.
+pub fn corpus_seeds() -> Vec<u64> {
+    match env_seed() {
+        Some(s) => vec![s],
+        None => FIXED_SEEDS.to_vec(),
+    }
+}
+
+/// The storage fault plan for a corpus seed: short transfers, bounded
+/// transient-error runs, no permanent faults (those get dedicated
+/// crash-consistency tests, not differential ones).
+pub fn fault_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+}
+
+/// The communication fault plan for a corpus seed on one rank. Mixing
+/// the rank in decorrelates the per-endpoint schedules while keeping
+/// each a pure function of `(seed, rank)`.
+pub fn comm_fault_plan(seed: u64, rank: usize) -> CommFaultPlan {
+    CommFaultPlan::seeded(seed ^ (0x9E37_79B9_7F4A_7C15u64.rotate_left(rank as u32)))
+}
+
+/// One-line replay command for a failing seed; embed this in assertion
+/// messages so a CI failure is reproducible from the log alone.
+pub fn repro_hint(seed: u64) -> String {
+    format!("replay with: LIO_FAULT_SEED={seed} cargo test -p lio-core --test faults")
+}
+
+/// The xorshift64* generator the fault injectors use, for test helpers
+/// that need auxiliary per-seed randomness (patterns, lengths, rank
+/// counts) without reaching for a global RNG.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded so that nearby seeds (0, 1, 2, ...) still produce
+    /// decorrelated streams.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_seed_parses_decimal_and_hex() {
+        // Serialized env manipulation confined to one test.
+        std::env::set_var("LIO_FAULT_SEED", "12345");
+        assert_eq!(env_seed(), Some(12345));
+        std::env::set_var("LIO_FAULT_SEED", "0xBEEF");
+        assert_eq!(env_seed(), Some(0xBEEF));
+        std::env::set_var("LIO_FAULT_SEED", "not a seed");
+        assert_eq!(env_seed(), None);
+        std::env::remove_var("LIO_FAULT_SEED");
+        assert_eq!(env_seed(), None);
+        assert_eq!(corpus_seeds(), FIXED_SEEDS.to_vec());
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        assert_eq!(fault_plan(42), fault_plan(42));
+        assert_eq!(comm_fault_plan(42, 3), comm_fault_plan(42, 3));
+        assert_ne!(
+            comm_fault_plan(42, 0).seed,
+            comm_fault_plan(42, 1).seed,
+            "ranks must not share a communication schedule"
+        );
+        assert!(fault_plan(7).is_active());
+    }
+
+    #[test]
+    fn rng_streams_decorrelate_nearby_seeds() {
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng::new(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng::new(2);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_ne!(a, b);
+        assert!(Rng::new(9).below(10) < 10);
+    }
+
+    #[test]
+    fn repro_hint_names_the_seed() {
+        assert!(repro_hint(99).contains("LIO_FAULT_SEED=99"));
+    }
+}

@@ -169,35 +169,39 @@ fn throttled_storage_end_to_end() {
     assert_eq!(shared.len(), 2 * 32 * 8);
 }
 
-/// Short reads injected by a FaultyFile are absorbed by the zero-fill
-/// read path (reads near EOF behave like POSIX short reads).
+/// Short transfers and transient errors injected by a FaultyFile are
+/// absorbed by the retry/resume layer: reads and writes complete with
+/// correct data under an aggressive survivable plan.
 #[test]
 fn survives_short_transfers() {
     use listless_io::pfs::{FaultPlan, FaultyFile};
 
-    // MemFile never short-reads mid-file, so shorten every 3rd access to
-    // exercise the loop... the engines must still produce correct data
-    // because UnixFile-style retry is built into read_window zero-fill
-    // semantics only at EOF; here we use shortened WRITES which write_at
-    // treats as complete (MemFile contract). Instead we verify that
-    // read-side shortening surfaces as zeros rather than corruption.
-    let file = FaultyFile::new(
-        MemFile::with_data(vec![7u8; 256]),
+    let mem = Arc::new(MemFile::with_data(vec![7u8; 256]));
+    let faulty = FaultyFile::new(
+        Arc::clone(&mem),
         FaultPlan {
-            short_every: 0, // no shortening: plan sanity
-            fail_every: 0,
+            short_per_256: 200, // most accesses truncated
+            transient_per_256: 64,
+            ..FaultPlan::seeded(0xE2E)
         },
     );
-    let shared = SharedFile::new(file);
+    let shared = SharedFile::new(faulty);
     World::run(1, |comm| {
         let f = File::open(comm, shared.clone(), Hints::listless()).unwrap();
         let mut buf = vec![0u8; 256];
         f.read_bytes_at(0, &mut buf).unwrap();
-        assert!(buf.iter().all(|&b| b == 7));
+        assert!(buf.iter().all(|&b| b == 7), "short reads corrupted data");
+        f.write_bytes_at(64, &[9u8; 128]).unwrap();
+        f.sync().unwrap(); // first flushes fail transiently, then recover
     });
+    let snap = mem.snapshot();
+    assert_eq!(&snap[..64], &[7u8; 64][..]);
+    assert_eq!(&snap[64..192], &[9u8; 128][..]);
+    assert_eq!(&snap[192..], &[7u8; 64][..]);
 }
 
-/// Injected hard errors propagate as `IoError::Storage`, not panics.
+/// Injected hard errors propagate as `IoError::Storage`, not panics —
+/// a torn write is permanent, so the bounded retry gives up on it.
 #[test]
 fn storage_errors_propagate() {
     use listless_io::core::IoError;
@@ -206,8 +210,8 @@ fn storage_errors_propagate() {
     let file = FaultyFile::new(
         MemFile::new(),
         FaultPlan {
-            short_every: 0,
-            fail_every: 1, // every access fails
+            torn_after: Some(0), // every write fails permanently
+            ..FaultPlan::disabled()
         },
     );
     let shared = SharedFile::new(file);
