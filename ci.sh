@@ -25,6 +25,21 @@ LIO_PIPELINE=0 cargo test -q -p lio-core --test collective --test pipeline
 echo "== collective suites under LIO_PIPELINE=1"
 LIO_PIPELINE=1 cargo test -q -p lio-core --test collective --test pipeline
 
+# The collective suites again with the sharded pack/unpack forced on
+# and off: LIO_PACK_THREADS=4 routes every listless memtype copy above
+# the threshold through the multi-threaded shard path, so a sharding
+# bug fails the same differential cases the single-threaded path passes.
+for pt in 1 4; do
+  echo "== collective suites under LIO_PACK_THREADS=$pt"
+  LIO_PACK_THREADS=$pt cargo test -q -p lio-core --test collective --test pipeline --test faults
+done
+
+# Compiled-program overhead gate: on a flat-contiguous type the run
+# program must stay within 2% of the naive tree walk (exits non-zero
+# on a sustained violation).
+echo "== pack_overhead gate"
+LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench pack_overhead
+
 # Fault corpus: the three fixed seeds plus a rotating, commit-derived
 # seed so the corpus keeps widening over time without losing replay
 # determinism (the seed depends only on the commit, never the clock).

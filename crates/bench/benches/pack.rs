@@ -1,9 +1,42 @@
 //! Pack/unpack micro-benchmarks: flattening-on-the-fly vs ol-list walking
-//! vs the raw memcpy ceiling (the paper's copy-time overhead, Section 2.1).
+//! vs the raw memcpy ceiling (the paper's copy-time overhead, Section 2.1),
+//! plus the compiled run-program interpreter vs the naive tree walk and
+//! the sharded multi-threaded copy.
+//!
+//! Emits `BENCH_pack.json` at the workspace root with the measured
+//! medians, the tree-walk/compiled/sharded ratios, and the machine's
+//! core count (sharded wall-clock gains require real parallelism; the
+//! ratios are recorded honestly either way).
 
 use lio_bench::harness::Group;
-use lio_datatype::{ff_pack, ff_unpack, Datatype, OlList};
+use lio_datatype::{
+    darray, ff_pack, ff_pack_shards, ff_unpack, Datatype, Distrib, FlatIter, OlList, Order,
+};
 use std::hint::black_box;
+
+/// The naive tree-walk baseline the compiled program replaces: descend
+/// the type tree for every leaf run via `FlatIter`.
+fn treewalk_pack(src: &[u8], count: u64, d: &Datatype, skip: u64, out: &mut [u8]) -> usize {
+    let mut cursor = 0;
+    for run in FlatIter::with_skip(d, count, skip) {
+        if cursor == out.len() {
+            break;
+        }
+        let n = (run.len as usize).min(out.len() - cursor);
+        let s = run.disp as usize;
+        out[cursor..cursor + n].copy_from_slice(&src[s..s + n]);
+        cursor += n;
+    }
+    cursor
+}
+
+/// One emitted measurement: group/id plus median ns and bytes moved.
+struct Entry {
+    group: &'static str,
+    id: String,
+    median_ns: f64,
+    bytes: u64,
+}
 
 /// Pack 1 MiB of data through vectors of varying block size.
 fn bench_pack() {
@@ -72,7 +105,7 @@ fn bench_pack_nested() {
         &[64, 64, 64],
         &[32, 32, 32],
         &[16, 16, 16],
-        lio_datatype::Order::C,
+        Order::C,
         &Datatype::double(),
     )
     .unwrap();
@@ -89,8 +122,167 @@ fn bench_pack_nested() {
     });
 }
 
+/// The benchmark shapes for the compiled-vs-treewalk-vs-sharded matrix:
+/// a count scaling each shape's data volume to ≥ 4 MiB for the sharded
+/// rows, and the datatype itself.
+fn shapes() -> Vec<(&'static str, u64, Datatype)> {
+    // flat strided: 8 KiB blocks at 2× stride (reduces to one frame)
+    let flat = Datatype::vector(512, 1, 2, &Datatype::basic(8192)).unwrap();
+    // nested vector-of-vector, small inner blocks: the case the
+    // compiled program exists for (tree walk re-descends per 64 B run)
+    let inner = Datatype::vector(16, 1, 2, &Datatype::basic(64)).unwrap();
+    let nested = Datatype::vector(64, 1, 2, &inner).unwrap();
+    // block-cyclic darray over a 2D grid
+    let da = darray(
+        4,
+        1,
+        &[1024, 1024],
+        &[Distrib::Cyclic(8), Distrib::Block],
+        &[2, 2],
+        Order::C,
+        &Datatype::byte(),
+    )
+    .unwrap();
+    // BTIO-style 3D tile of doubles
+    let btio = Datatype::subarray(
+        &[128, 64, 64],
+        &[64, 32, 32],
+        &[32, 16, 16],
+        Order::C,
+        &Datatype::double(),
+    )
+    .unwrap();
+    let target = 4u64 << 20;
+    [
+        ("flat_strided", flat),
+        ("nested_vv", nested),
+        ("darray_cyclic", da),
+        ("btio_tile", btio),
+    ]
+    .into_iter()
+    .map(|(name, d)| {
+        let count = (target / d.size()).max(1);
+        (name, count, d)
+    })
+    .collect()
+}
+
+/// Tree walk vs compiled program vs sharded copy, across the four
+/// shapes, on ≥ 4 MiB of data each.
+fn bench_pack_compiled(entries: &mut Vec<Entry>) {
+    let mut g = Group::new("pack_compiled");
+    g.sample_size(20);
+    for (name, count, d) in shapes() {
+        let span = ((count as i64 - 1) * d.extent() as i64 + d.data_ub()) as usize;
+        let src = vec![0xC3u8; span];
+        let total = (d.size() * count) as usize;
+        let mut out = vec![0u8; total];
+        g.throughput_bytes(total as u64);
+
+        let s = g.bench(format!("treewalk/{name}"), || {
+            treewalk_pack(black_box(&src), count, &d, 0, black_box(&mut out));
+        });
+        entries.push(Entry {
+            group: "pack_compiled",
+            id: format!("treewalk/{name}"),
+            median_ns: s.median_ns,
+            bytes: total as u64,
+        });
+
+        // the compiled interpreter, bypassing the strided fast path so
+        // flat shapes measure the program too
+        let prog = d.program();
+        let s = g.bench(format!("compiled/{name}"), || {
+            prog.pack_into(black_box(&src), 0, count, 0, black_box(&mut out));
+        });
+        entries.push(Entry {
+            group: "pack_compiled",
+            id: format!("compiled/{name}"),
+            median_ns: s.median_ns,
+            bytes: total as u64,
+        });
+
+        // the shipped single-threaded entry (strided fast path or program)
+        let s = g.bench(format!("ff_pack/{name}"), || {
+            ff_pack(black_box(&src), count, &d, 0, black_box(&mut out));
+        });
+        entries.push(Entry {
+            group: "pack_compiled",
+            id: format!("ff_pack/{name}"),
+            median_ns: s.median_ns,
+            bytes: total as u64,
+        });
+
+        for threads in [2usize, 4] {
+            let s = g.bench(format!("sharded{threads}/{name}"), || {
+                ff_pack_shards(black_box(&src), count, &d, 0, black_box(&mut out), threads);
+            });
+            entries.push(Entry {
+                group: "pack_compiled",
+                id: format!("sharded{threads}/{name}"),
+                median_ns: s.median_ns,
+                bytes: total as u64,
+            });
+        }
+    }
+}
+
+/// Render the measurements (plus derived ratios) as `BENCH_pack.json`
+/// at the workspace root.
+fn write_json(entries: &[Entry]) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    if cores < 4 {
+        json.push_str(&format!(
+            "  \"note\": \"sharded rows measured on a {cores}-core machine: workers serialize, \
+             so shard spawn overhead shows without the parallel speedup\",\n"
+        ));
+    }
+    json.push_str("  \"benches\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        let gbps = e.bytes as f64 / e.median_ns;
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {:.1}, \"bytes\": {}, \"gbps\": {:.3}}}{sep}\n",
+            e.group, e.id, e.median_ns, e.bytes, gbps
+        ));
+    }
+    json.push_str("  ],\n");
+    // derived ratios per shape: treewalk/compiled (>1 means the program
+    // is faster) and treewalk/sharded4
+    let med = |id: &str| {
+        entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.median_ns)
+            .unwrap_or(f64::NAN)
+    };
+    json.push_str("  \"ratios\": {\n");
+    let names: Vec<&str> = vec!["flat_strided", "nested_vv", "darray_cyclic", "btio_tile"];
+    for (i, name) in names.iter().enumerate() {
+        let sep = if i + 1 == names.len() { "" } else { "," };
+        let tw = med(&format!("treewalk/{name}"));
+        json.push_str(&format!(
+            "    \"{name}\": {{\"compiled_speedup\": {:.3}, \"sharded2_speedup\": {:.3}, \"sharded4_speedup\": {:.3}}}{sep}\n",
+            tw / med(&format!("compiled/{name}")),
+            tw / med(&format!("sharded2/{name}")),
+            tw / med(&format!("sharded4/{name}"))
+        ));
+    }
+    json.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pack.json");
+    std::fs::write(path, json).expect("write BENCH_pack.json");
+    println!("  -> BENCH_pack.json");
+}
+
 fn main() {
     bench_pack();
     bench_unpack();
     bench_pack_nested();
+    let mut entries = Vec::new();
+    bench_pack_compiled(&mut entries);
+    write_json(&entries);
 }

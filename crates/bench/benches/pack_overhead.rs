@@ -1,0 +1,67 @@
+//! CI gate: the compiled run program must not tax the degenerate case.
+//!
+//! On a *flat contiguous* type both the compiled interpreter and the
+//! naive tree walk reduce to one `memcpy`; whatever the program adds on
+//! top (cache lookup, frame dispatch, sink bookkeeping) must stay
+//! within 2% of the tree walk. Exits non-zero on a sustained violation
+//! so `ci.sh` can gate on it; min-of-samples and a retry loop keep the
+//! gate robust against scheduler noise.
+
+use lio_bench::harness::Group;
+use lio_datatype::{ff_pack, Datatype, FlatIter};
+use std::hint::black_box;
+
+const TOLERANCE: f64 = 1.02;
+const ATTEMPTS: usize = 5;
+
+fn treewalk_pack(src: &[u8], count: u64, d: &Datatype, skip: u64, out: &mut [u8]) -> usize {
+    let mut cursor = 0;
+    for run in FlatIter::with_skip(d, count, skip) {
+        if cursor == out.len() {
+            break;
+        }
+        let n = (run.len as usize).min(out.len() - cursor);
+        let s = run.disp as usize;
+        out[cursor..cursor + n].copy_from_slice(&src[s..s + n]);
+        cursor += n;
+    }
+    cursor
+}
+
+fn main() {
+    // one contiguous 4 MiB run: the degenerate flat case
+    let d = Datatype::contiguous(4 << 20, &Datatype::byte()).unwrap();
+    let src = vec![0x7Eu8; d.extent() as usize];
+    let total = d.size() as usize;
+    let mut out = vec![0u8; total];
+
+    let mut g = Group::new("pack_overhead");
+    g.sample_size(20);
+    g.throughput_bytes(total as u64);
+
+    let mut worst = f64::INFINITY;
+    for attempt in 1..=ATTEMPTS {
+        let walk = g.bench(format!("treewalk/attempt{attempt}"), || {
+            treewalk_pack(black_box(&src), 1, &d, 0, black_box(&mut out));
+        });
+        let compiled = g.bench(format!("compiled/attempt{attempt}"), || {
+            d.program()
+                .pack_into(black_box(&src), 0, 1, 0, black_box(&mut out));
+        });
+        let shipped = g.bench(format!("ff_pack/attempt{attempt}"), || {
+            ff_pack(black_box(&src), 1, &d, 0, black_box(&mut out));
+        });
+        let ratio = compiled.min_ns.max(shipped.min_ns) / walk.min_ns;
+        worst = worst.min(ratio);
+        println!("pack_overhead: compiled/treewalk min-ratio {ratio:.4} (attempt {attempt})");
+        if ratio <= TOLERANCE {
+            println!("pack_overhead: PASS ({ratio:.4} <= {TOLERANCE})");
+            return;
+        }
+    }
+    eprintln!(
+        "pack_overhead: FAIL — compiled pack {worst:.4}x the tree walk on a flat-contiguous \
+         type across {ATTEMPTS} attempts (gate {TOLERANCE})"
+    );
+    std::process::exit(1);
+}

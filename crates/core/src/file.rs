@@ -179,6 +179,7 @@ impl<'c> File<'c> {
             count,
             buf_len,
             self.hints.engine == Engine::ListBased,
+            self.hints.effective_pack_threads(),
         )
     }
 

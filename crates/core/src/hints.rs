@@ -96,6 +96,16 @@ pub struct Hints {
     /// flight per IOP (and how far each AP may run ahead of the IOP's
     /// placement, enforced by credits). 2 = classic double buffering.
     pub pipeline_depth: usize,
+    /// Worker threads for sharded datatype pack/unpack (listless engine):
+    /// large copies are split at data-byte positions computed with the
+    /// paper's `O(depth)` seek and copied by `std::thread::scope` workers
+    /// into disjoint buffer slices. `1` (the default) keeps the copy
+    /// single-threaded; `0` means auto (one worker per available core,
+    /// capped at 8); `n > 1` uses up to `n` workers. Copies below a byte
+    /// threshold stay single-threaded regardless. The `LIO_PACK_THREADS`
+    /// environment variable overrides this hint (see
+    /// [`Hints::effective_pack_threads`]).
+    pub pack_threads: usize,
     /// Observability: `Some(on)` forces `lio-obs` recording on or off when
     /// a file is opened with these hints; `None` leaves the process-global
     /// setting (and the `LIO_OBS` environment variable) in charge.
@@ -114,6 +124,7 @@ impl Hints {
             detect_dense_writes: true,
             two_phase_pipeline: false,
             pipeline_depth: 2,
+            pack_threads: 1,
             obs: None,
         }
     }
@@ -170,6 +181,32 @@ impl Hints {
     pub fn pipeline_depth(mut self, windows: usize) -> Hints {
         self.pipeline_depth = windows.max(1);
         self
+    }
+
+    /// Set the sharded pack/unpack worker count (builder style;
+    /// `0` = auto, `1` = single-threaded).
+    pub fn pack_threads(mut self, threads: usize) -> Hints {
+        self.pack_threads = threads;
+        self
+    }
+
+    /// The worker-thread budget for sharded pack/unpack, honoring the
+    /// `LIO_PACK_THREADS` environment override (a thread count; `0` for
+    /// auto; anything unparseable defers to the `pack_threads` hint).
+    /// Auto resolves to the number of available cores, capped at 8.
+    pub fn effective_pack_threads(&self) -> usize {
+        let requested = match std::env::var("LIO_PACK_THREADS") {
+            Ok(v) => v.trim().parse::<usize>().unwrap_or(self.pack_threads),
+            Err(_) => self.pack_threads,
+        };
+        if requested == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            requested
+        }
     }
 
     /// Whether collective calls take the pipelined path, honoring the
@@ -262,7 +299,8 @@ impl Hints {
     /// `cb_nodes`, `romio_ds_write` (`enable`/`disable`/`automatic` →
     /// sieve/direct/auto), `detect_dense_writes` (`true`/`false`),
     /// `two_phase_pipeline` (`enable`/`disable`), `pipeline_depth`
-    /// (windows in flight, ≥ 1), `lio_obs` (`enable`/`disable` — force
+    /// (windows in flight, ≥ 1), `pack_threads` (sharded pack/unpack
+    /// workers; 0 = auto), `lio_obs` (`enable`/`disable` — force
     /// metrics recording at open).
     ///
     /// ```
@@ -337,6 +375,11 @@ impl Hints {
                         .map_err(|_| HintError::new(k, v, "expected a window count"))?
                         .max(1);
                 }
+                "pack_threads" => {
+                    self.pack_threads = v
+                        .parse::<usize>()
+                        .map_err(|_| HintError::new(k, v, "expected a thread count (0 = auto)"))?;
+                }
                 "lio_obs" => {
                     self.obs = match v {
                         "enable" | "true" | "1" => Some(true),
@@ -403,6 +446,7 @@ impl Hints {
                 "pipeline_depth".to_string(),
                 self.pipeline_depth.to_string(),
             ),
+            ("pack_threads".to_string(), self.pack_threads.to_string()),
         ];
         if let Some(on) = self.obs {
             pairs.push((
@@ -464,6 +508,39 @@ mod info_tests {
         assert!(Hints::default()
             .apply_info([("pipeline_depth", "deep")])
             .is_err());
+    }
+
+    #[test]
+    fn pack_threads_info_key() {
+        let h = Hints::default()
+            .apply_info([("pack_threads", "4")])
+            .unwrap();
+        assert_eq!(h.pack_threads, 4);
+        let h = Hints::default()
+            .apply_info([("pack_threads", "0")])
+            .unwrap();
+        assert_eq!(h.pack_threads, 0);
+        assert!(Hints::default()
+            .apply_info([("pack_threads", "many")])
+            .is_err());
+        // round-trips through to_info
+        let h = Hints::default().pack_threads(3);
+        let pairs = h.to_info();
+        let back = Hints::list_based()
+            .apply_info(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+            .unwrap();
+        assert_eq!(back.pack_threads, 3);
+    }
+
+    #[test]
+    fn pack_threads_auto_resolves_to_cores() {
+        if std::env::var("LIO_PACK_THREADS").is_ok() {
+            return; // the env override legitimately wins
+        }
+        assert_eq!(Hints::default().effective_pack_threads(), 1);
+        let auto = Hints::default().pack_threads(0).effective_pack_threads();
+        assert!((1..=8).contains(&auto));
+        assert_eq!(Hints::default().pack_threads(4).effective_pack_threads(), 4);
     }
 
     #[test]

@@ -221,11 +221,19 @@ fn ap_pump(
             let Some((lo, take)) = ap.next_window(nav, cb) else {
                 break;
             };
-            let mut msg = vec![0u8; take as usize];
             let t = lio_obs::now();
-            let got = packer.pack(user, lo - stream_start, &mut msg);
+            // zero-copy fast path: contiguous memtypes lift the window
+            // straight out of the user buffer, skipping the zero-fill
+            let msg = match packer.contig_slice(user, lo - stream_start, take) {
+                Some(s) => s.to_vec(),
+                None => {
+                    let mut m = vec![0u8; take as usize];
+                    let got = packer.pack(user, lo - stream_start, &mut m);
+                    debug_assert_eq!(got as u64, take);
+                    m
+                }
+            };
             *pack_ns += lio_obs::elapsed_ns(t);
-            debug_assert_eq!(got as u64, take);
             if obs {
                 OBS_EXCH_DATA_BYTES.add(take);
             }

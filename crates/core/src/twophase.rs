@@ -510,13 +510,19 @@ pub(crate) fn write_at_all(
         let mut msg = Vec::with_capacity(16 + n as usize);
         msg.extend_from_slice(&s_lo.to_le_bytes());
         msg.extend_from_slice(&s_hi.to_le_bytes());
-        let base = msg.len();
-        msg.resize(base + n as usize, 0);
         if n > 0 {
             let t = lio_obs::now();
-            let got = packer.pack(user, s_lo - stream_start, &mut msg[base..]);
+            // zero-copy fast path: contiguous memtypes append the user
+            // bytes directly instead of zero-filling and re-packing
+            if let Some(s) = packer.contig_slice(user, s_lo - stream_start, n) {
+                msg.extend_from_slice(s);
+            } else {
+                let base = msg.len();
+                msg.resize(base + n as usize, 0);
+                let got = packer.pack(user, s_lo - stream_start, &mut msg[base..]);
+                debug_assert_eq!(got as u64, n);
+            }
             pack_ns += lio_obs::elapsed_ns(t);
-            debug_assert_eq!(got as u64, n);
         }
         if obs {
             OBS_EXCH_DATA_BYTES.add(n);

@@ -48,6 +48,7 @@ pub mod darray;
 pub mod ff;
 pub mod flatten;
 pub mod iter;
+pub mod program;
 pub mod serialize;
 pub mod strided;
 pub mod typemap;
@@ -55,10 +56,13 @@ pub mod types;
 
 pub use darray::{darray, Distrib};
 pub use ff::{
-    bytes_below_tiled, ff_extent, ff_offset, ff_pack, ff_pack_at, ff_size, ff_unpack, ff_unpack_at,
+    bytes_below_tiled, ff_extent, ff_offset, ff_pack, ff_pack_at, ff_pack_sharded, ff_pack_shards,
+    ff_size, ff_unpack, ff_unpack_at, ff_unpack_sharded, ff_unpack_shards, SHARD_MIN_BYTES,
+    SHARD_MIN_TOTAL,
 };
 pub use flatten::{OlList, OlPos, OlSeg};
 pub use iter::FlatIter;
+pub use program::RunProgram;
 pub use strided::{strided_pack, strided_unpack, StridedSpec};
 pub use typemap::Run;
 pub use types::{Datatype, Field, HBlock, Order, TypeError, TypeKind};

@@ -15,7 +15,9 @@
 //! `O(depth · log k)` instead of traversing an ol-list.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use crate::program::RunProgram;
 
 /// Errors arising from datatype construction or use.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -177,6 +179,9 @@ pub struct Datatype(pub(crate) Arc<Node>);
 pub(crate) struct Node {
     pub kind: TypeKind,
     pub meta: Meta,
+    /// Compiled run program, built lazily on first pack/unpack and shared
+    /// by every clone of this node (see [`Datatype::program`]).
+    pub program: OnceLock<Arc<RunProgram>>,
 }
 
 impl fmt::Debug for Datatype {
@@ -199,6 +204,7 @@ impl Datatype {
     pub fn basic(size: u32) -> Datatype {
         let size64 = size as u64;
         Datatype(Arc::new(Node {
+            program: OnceLock::new(),
             kind: TypeKind::Basic { size },
             meta: Meta {
                 size: size64,
@@ -240,6 +246,7 @@ impl Datatype {
     /// The `MPI_LB` marker: zero-size, pins the lower bound of a struct.
     pub fn lb_marker() -> Datatype {
         Datatype(Arc::new(Node {
+            program: OnceLock::new(),
             kind: TypeKind::LbMark,
             meta: Meta {
                 size: 0,
@@ -261,6 +268,7 @@ impl Datatype {
     /// The `MPI_UB` marker: zero-size, pins the upper bound of a struct.
     pub fn ub_marker() -> Datatype {
         Datatype(Arc::new(Node {
+            program: OnceLock::new(),
             kind: TypeKind::UbMark,
             meta: Meta {
                 size: 0,
@@ -327,6 +335,7 @@ impl Datatype {
             && data_lb >= 0
             && (count <= 1 || (ext >= 0 && m.data_ub <= ext + m.data_lb));
         Ok(Datatype(Arc::new(Node {
+            program: OnceLock::new(),
             kind: TypeKind::Contiguous {
                 count,
                 child: child.clone(),
@@ -424,6 +433,7 @@ impl Datatype {
             && (blocklen <= 1 || m.data_ub <= ext + m.data_lb)
             && (count <= 1 || stride >= block_extent);
         Ok(Datatype(Arc::new(Node {
+            program: OnceLock::new(),
             kind: TypeKind::Hvector {
                 count,
                 blocklen,
@@ -566,6 +576,7 @@ impl Datatype {
         let ub = explicit_ub.unwrap_or(data_ub);
         let single_run = single_run_of_blocks(&blocks, m, ext, size);
         Ok(Datatype(Arc::new(Node {
+            program: OnceLock::new(),
             kind: TypeKind::Hindexed {
                 blocks: blocks.into(),
                 child: child.clone(),
@@ -645,6 +656,7 @@ impl Datatype {
         let ub = explicit_ub.unwrap_or(data_ub);
         let single_run = single_run_of_fields(&fields, size);
         Ok(Datatype(Arc::new(Node {
+            program: OnceLock::new(),
             kind: TypeKind::Struct {
                 fields: fields.into(),
             },
@@ -670,6 +682,7 @@ impl Datatype {
     pub fn resized(child: &Datatype, lb: i64, extent: u64) -> Result<Datatype, TypeError> {
         let m = &child.0.meta;
         Ok(Datatype(Arc::new(Node {
+            program: OnceLock::new(),
             kind: TypeKind::Resized {
                 lb,
                 extent,

@@ -1,0 +1,290 @@
+//! Differential corpus for the compiled run programs and the sharded
+//! pack/unpack: for random monotone datatype trees × random skips ×
+//! shard counts {1, 2, 3, 8}, the compiled program, the naive tree
+//! walk, and the sharded copy must produce byte-identical streams.
+//!
+//! Seeding follows the fault-corpus convention from `lio-testkit`:
+//! `LIO_FAULT_SEED` replays one seed exactly, otherwise the fixed
+//! corpus runs, and every assertion message carries a one-line replay
+//! command so a CI failure is reproducible from the log alone.
+
+use lio_datatype::{
+    ff_offset, ff_pack, ff_pack_shards, ff_unpack, ff_unpack_shards, Datatype, Field, FlatIter,
+};
+use lio_testkit::{corpus_seeds, Rng};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+const CASES_PER_SEED: u64 = 48;
+
+fn replay(seed: u64, case: u64) -> String {
+    format!(
+        "replay with: LIO_FAULT_SEED={seed} cargo test -p lio-datatype --test program (case {case})"
+    )
+}
+
+/// A random monotone datatype with non-negative data displacements —
+/// the shape sharding supports. Rejection-samples from a generator
+/// biased toward nesting (the case the compiled program exists for).
+fn arb_monotone(rng: &mut Rng, depth: u32) -> Datatype {
+    loop {
+        let d = gen_type(rng, depth);
+        if d.is_monotone() && d.size() > 0 && d.data_lb() >= 0 {
+            return d;
+        }
+    }
+}
+
+fn gen_type(rng: &mut Rng, depth: u32) -> Datatype {
+    if depth == 0 {
+        return Datatype::basic((1 + rng.below(16)) as u32);
+    }
+    match rng.below(12) {
+        0..=2 => Datatype::basic((1 + rng.below(16)) as u32),
+        3..=4 => {
+            let t = gen_type(rng, depth - 1);
+            Datatype::contiguous(1 + rng.below(4), &t).unwrap()
+        }
+        5..=7 => {
+            let t = gen_type(rng, depth - 1);
+            // stride ≥ blocklen keeps vectors monotone-friendly
+            let blocklen = 1 + rng.below(3);
+            let stride = blocklen + rng.below(4);
+            Datatype::vector(1 + rng.below(4), blocklen, stride as i64, &t).unwrap()
+        }
+        8..=9 => {
+            let t = gen_type(rng, depth - 1);
+            let n = (1 + rng.below(3)) as usize;
+            let mut disp = 0i64;
+            let mut lens = Vec::with_capacity(n);
+            let mut disps = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = 1 + rng.below(3);
+                disps.push(disp);
+                lens.push(len);
+                // next block starts after this one, plus a random gap
+                disp += (len * t.extent().max(1) + rng.below(9)) as i64;
+            }
+            Datatype::indexed(&lens, &disps, &t).unwrap()
+        }
+        10 => {
+            let t = gen_type(rng, depth - 1);
+            let n = (1 + rng.below(3)) as usize;
+            let mut disp = 0i64;
+            let fields = (0..n)
+                .map(|_| {
+                    let count = 1 + rng.below(3);
+                    let f = Field {
+                        disp,
+                        count,
+                        child: t.clone(),
+                    };
+                    disp += (count * t.extent().max(1) + rng.below(9)) as i64;
+                    f
+                })
+                .collect();
+            Datatype::struct_type(fields).unwrap()
+        }
+        _ => {
+            let t = gen_type(rng, depth - 1);
+            let ext = t.data_ub().max(1) as u64 + rng.below(17);
+            Datatype::resized(&t, 0, ext).unwrap()
+        }
+    }
+}
+
+/// The tree-walk baseline: pack by iterating merged leaf runs.
+fn treewalk_pack(src: &[u8], count: u64, d: &Datatype, skip: u64, out: &mut [u8]) -> usize {
+    let mut cursor = 0;
+    for run in FlatIter::with_skip(d, count, skip) {
+        if cursor == out.len() {
+            break;
+        }
+        let n = (run.len as usize).min(out.len() - cursor);
+        let s = run.disp as usize;
+        out[cursor..cursor + n].copy_from_slice(&src[s..s + n]);
+        cursor += n;
+    }
+    cursor
+}
+
+/// Buffer size covering `count` instances of a non-negative-data type.
+fn span_of(d: &Datatype, count: u64) -> usize {
+    ((count as i64 - 1) * d.extent() as i64 + d.data_ub()).max(0) as usize
+}
+
+/// compiled ≡ tree walk ≡ sharded, byte-for-byte, on the pack side.
+#[test]
+fn pack_compiled_treewalk_sharded_agree() {
+    for seed in corpus_seeds() {
+        for case in 0..CASES_PER_SEED {
+            let mut rng = Rng::new(seed.rotate_left(17) ^ (case.wrapping_mul(0xD1B5)));
+            let d = arb_monotone(&mut rng, 1 + (case % 3) as u32);
+            let count = 1 + rng.below(3);
+            let total = d.size() * count;
+            let span = span_of(&d, count);
+            if span == 0 || span >= 1 << 22 {
+                continue;
+            }
+            let src: Vec<u8> = (0..span).map(|i| (i % 251) as u8).collect();
+            let skip = rng.below(total + 1);
+            let want_len = (total - skip) as usize;
+
+            // tree-walk baseline
+            let mut walk = vec![0u8; want_len];
+            let n = treewalk_pack(&src, count, &d, skip, &mut walk);
+            assert_eq!(n, want_len, "tree walk short; {}", replay(seed, case));
+
+            // compiled program, invoked directly so even strided-
+            // reducible types exercise the program interpreter
+            let mut prog = vec![0u8; want_len];
+            let (n, _) = d.program().pack_into(&src, 0, count, skip, &mut prog);
+            assert_eq!(n, want_len, "compiled short; {}", replay(seed, case));
+            assert_eq!(
+                prog,
+                walk,
+                "compiled ≠ tree walk for {d:?} skip {skip}; {}",
+                replay(seed, case)
+            );
+
+            // the public entry (strided fast path or program)
+            let mut public = vec![0u8; want_len];
+            ff_pack(&src, count, &d, skip, &mut public);
+            assert_eq!(
+                public,
+                walk,
+                "ff_pack ≠ tree walk for {d:?} skip {skip}; {}",
+                replay(seed, case)
+            );
+
+            // sharded, every shard count
+            for &nsh in &SHARD_COUNTS {
+                let mut sharded = vec![0u8; want_len];
+                let n = ff_pack_shards(&src, count, &d, skip, &mut sharded, nsh);
+                assert_eq!(n, want_len, "sharded short; {}", replay(seed, case));
+                assert_eq!(
+                    sharded,
+                    walk,
+                    "{nsh}-shard pack ≠ tree walk for {d:?} skip {skip}; {}",
+                    replay(seed, case)
+                );
+            }
+        }
+    }
+}
+
+/// sharded unpack ≡ single-threaded unpack, byte-for-byte, for every
+/// shard count — including the positions the type never touches.
+#[test]
+fn unpack_sharded_agrees_with_single() {
+    for seed in corpus_seeds() {
+        for case in 0..CASES_PER_SEED {
+            let mut rng = Rng::new(seed.rotate_left(29) ^ (case.wrapping_mul(0xB5D1)));
+            let d = arb_monotone(&mut rng, 1 + (case % 3) as u32);
+            let count = 1 + rng.below(3);
+            let total = d.size() * count;
+            let span = span_of(&d, count);
+            if span == 0 || span >= 1 << 22 {
+                continue;
+            }
+            let skip = rng.below(total + 1);
+            let stream: Vec<u8> = (0..(total - skip) as usize)
+                .map(|i| (i % 239) as u8)
+                .collect();
+
+            let mut single = vec![0xAAu8; span];
+            let n = ff_unpack(&stream, &mut single, count, &d, skip);
+            assert_eq!(
+                n,
+                stream.len(),
+                "single unpack short; {}",
+                replay(seed, case)
+            );
+
+            for &nsh in &SHARD_COUNTS {
+                let mut sharded = vec![0xAAu8; span];
+                let n = ff_unpack_shards(&stream, &mut sharded, count, &d, skip, nsh);
+                assert_eq!(n, stream.len(), "sharded short; {}", replay(seed, case));
+                assert_eq!(
+                    sharded,
+                    single,
+                    "{nsh}-shard unpack ≠ single for {d:?} skip {skip}; {}",
+                    replay(seed, case)
+                );
+            }
+        }
+    }
+}
+
+/// Shard-boundary edge cases, pinned explicitly rather than left to the
+/// random corpus: a skip landing exactly on an instance boundary, shard
+/// boundaries landing inside a block, and zero-length shards when the
+/// copy is smaller than the shard count.
+#[test]
+fn shard_boundary_edge_cases() {
+    // 4 blocks of 6 bytes, stride 10 → size 24, extent 36
+    let d = Datatype::vector(4, 6, 10, &Datatype::byte()).unwrap();
+    let count = 5u64;
+    let span = span_of(&d, count);
+    let src: Vec<u8> = (0..span).map(|i| (i % 251) as u8).collect();
+    let total = d.size() * count;
+
+    // skip exactly on an instance boundary: shard 0 starts at instance 2
+    let skip = 2 * d.size();
+    let mut want = vec![0u8; (total - skip) as usize];
+    ff_pack(&src, count, &d, skip, &mut want);
+    for nsh in [2usize, 3, 8] {
+        let mut got = vec![0u8; want.len()];
+        assert_eq!(
+            ff_pack_shards(&src, count, &d, skip, &mut got, nsh),
+            want.len()
+        );
+        assert_eq!(got, want, "{nsh} shards, skip on instance boundary");
+    }
+
+    // 72 data bytes across 5 shards: boundaries at 14.4-byte intervals,
+    // i.e. inside 6-byte blocks, never aligned
+    let mut want = vec![0u8; total as usize];
+    ff_pack(&src, count, &d, 0, &mut want);
+    let mut got = vec![0u8; total as usize];
+    assert_eq!(ff_pack_shards(&src, count, &d, 0, &mut got, 5), want.len());
+    assert_eq!(got, want, "shard boundaries inside blocks");
+
+    // len < shards: zero-length shards must spawn no worker and copy
+    // everything exactly once
+    let tiny = Datatype::vector(3, 1, 4, &Datatype::byte()).unwrap();
+    let tsrc: Vec<u8> = (0..tiny.extent() as usize).map(|i| i as u8).collect();
+    let mut want = vec![0u8; 3];
+    ff_pack(&tsrc, 1, &tiny, 0, &mut want);
+    let mut got = vec![0u8; 3];
+    assert_eq!(ff_pack_shards(&tsrc, 1, &tiny, 0, &mut got, 8), 3);
+    assert_eq!(got, want, "3-byte copy across 8 shards");
+    let mut dst = vec![0u8; tiny.extent() as usize];
+    assert_eq!(ff_unpack_shards(&want, &mut dst, 1, &tiny, 0, 8), 3);
+    let mut dst_single = vec![0u8; tiny.extent() as usize];
+    ff_unpack(&want, &mut dst_single, 1, &tiny, 0);
+    assert_eq!(dst, dst_single, "tiny sharded unpack");
+
+    // unpack shard destinations are carved at ff_offset boundaries:
+    // verify the carve math on a skip that is not block-aligned
+    let skip = 7u64;
+    let stream: Vec<u8> = (0..(total - skip) as usize).map(|i| i as u8).collect();
+    let mut single = vec![0u8; span];
+    ff_unpack(&stream, &mut single, count, &d, skip);
+    for nsh in [2usize, 3, 8] {
+        let mut sharded = vec![0u8; span];
+        assert_eq!(
+            ff_unpack_shards(&stream, &mut sharded, count, &d, skip, nsh),
+            stream.len()
+        );
+        assert_eq!(sharded, single, "{nsh}-shard unpack, unaligned skip");
+        // spot-check a boundary position really belongs to the right shard
+        let lo = stream.len() as u64 / nsh as u64;
+        if lo > 0 && lo < stream.len() as u64 {
+            let p = ff_offset(&d, skip + lo) as usize;
+            assert_eq!(
+                sharded[p], stream[lo as usize],
+                "boundary byte, {nsh} shards"
+            );
+        }
+    }
+}
