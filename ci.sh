@@ -34,11 +34,43 @@ for pt in 1 4; do
   LIO_PACK_THREADS=$pt cargo test -q -p lio-core --test collective --test pipeline --test faults
 done
 
+# Event tracing: the collective + pipeline suites once more with the
+# recorder armed (catches trace-enabled-only panics), plus the dedicated
+# trace-correctness tests (span pairing, causal merge, ring wraparound,
+# critical path).
+echo "== collective suites under LIO_TRACE=1"
+LIO_TRACE=1 cargo test -q -p lio-core --test collective --test pipeline
+echo "== trace correctness tests"
+cargo test -q -p lio-core --test trace
+
+# repro trace must produce a well-formed Perfetto timeline whose
+# critical-path report names a bounding phase.
+echo "== repro trace + validate-json"
+./target/release/repro trace --quick | tee /tmp/lio_trace_out.txt
+grep -q "bounding" /tmp/lio_trace_out.txt
+./target/release/repro validate-json results/trace.json
+
 # Compiled-program overhead gate: on a flat-contiguous type the run
 # program must stay within 2% of the naive tree walk (exits non-zero
 # on a sustained violation).
 echo "== pack_overhead gate"
 LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench pack_overhead
+
+# Trace overhead: same noise-floor structure as obs_overhead — with
+# tracing disabled the hooks must be within run-to-run noise.
+echo "== trace_overhead gate"
+LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench trace_overhead
+
+# Perf trajectory: regenerate the pipeline bench artifact and compare
+# against the committed baseline; warns (never fails) on >15% wall-time
+# regressions so noisy hosts don't block, but the drift is on record.
+echo "== bench baseline comparison"
+if git show HEAD:BENCH_pipeline.json > /tmp/lio_bench_baseline.json 2>/dev/null; then
+  LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench pipeline
+  ./target/release/repro bench-compare /tmp/lio_bench_baseline.json BENCH_pipeline.json
+else
+  echo "  (no committed BENCH_pipeline.json baseline yet — skipping)"
+fi
 
 # Fault corpus: the three fixed seeds plus a rotating, commit-derived
 # seed so the corpus keeps widening over time without losing replay

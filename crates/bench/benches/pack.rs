@@ -3,12 +3,14 @@
 //! plus the compiled run-program interpreter vs the naive tree walk and
 //! the sharded multi-threaded copy.
 //!
-//! Emits `BENCH_pack.json` at the workspace root with the measured
-//! medians, the tree-walk/compiled/sharded ratios, and the machine's
-//! core count (sharded wall-clock gains require real parallelism; the
-//! ratios are recorded honestly either way).
+//! Emits `BENCH_pack.json` at the workspace root in the versioned
+//! [`lio_bench::schema`] format: the measured medians, the
+//! tree-walk/compiled/sharded ratios, and the machine's core count
+//! (sharded wall-clock gains require real parallelism; the ratios are
+//! recorded honestly either way).
 
 use lio_bench::harness::Group;
+use lio_bench::schema;
 use lio_datatype::{
     darray, ff_pack, ff_pack_shards, ff_unpack, Datatype, Distrib, FlatIter, OlList, Order,
 };
@@ -228,31 +230,30 @@ fn bench_pack_compiled(entries: &mut Vec<Entry>) {
 }
 
 /// Render the measurements (plus derived ratios) as `BENCH_pack.json`
-/// at the workspace root.
+/// at the workspace root, in the versioned schema.
 fn write_json(entries: &[Entry]) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"cores\": {cores},\n"));
-    if cores < 4 {
-        json.push_str(&format!(
-            "  \"note\": \"sharded rows measured on a {cores}-core machine: workers serialize, \
-             so shard spawn overhead shows without the parallel speedup\",\n"
+    let mut rows: Vec<schema::Entry> = Vec::new();
+    for e in entries {
+        rows.push(schema::Entry::new(
+            e.group,
+            e.id.clone(),
+            "median_ns",
+            e.median_ns,
+            "ns",
+        ));
+        rows.push(schema::Entry::new(
+            e.group,
+            e.id.clone(),
+            "gbps",
+            e.bytes as f64 / e.median_ns,
+            "GB/s",
         ));
     }
-    json.push_str("  \"benches\": [\n");
-    for (i, e) in entries.iter().enumerate() {
-        let sep = if i + 1 == entries.len() { "" } else { "," };
-        let gbps = e.bytes as f64 / e.median_ns;
-        json.push_str(&format!(
-            "    {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {:.1}, \"bytes\": {}, \"gbps\": {:.3}}}{sep}\n",
-            e.group, e.id, e.median_ns, e.bytes, gbps
-        ));
-    }
-    json.push_str("  ],\n");
     // derived ratios per shape: treewalk/compiled (>1 means the program
-    // is faster) and treewalk/sharded4
+    // is faster) and treewalk/sharded{2,4}
     let med = |id: &str| {
         entries
             .iter()
@@ -260,22 +261,19 @@ fn write_json(entries: &[Entry]) {
             .map(|e| e.median_ns)
             .unwrap_or(f64::NAN)
     };
-    json.push_str("  \"ratios\": {\n");
-    let names: Vec<&str> = vec!["flat_strided", "nested_vv", "darray_cyclic", "btio_tile"];
-    for (i, name) in names.iter().enumerate() {
-        let sep = if i + 1 == names.len() { "" } else { "," };
+    for name in ["flat_strided", "nested_vv", "darray_cyclic", "btio_tile"] {
         let tw = med(&format!("treewalk/{name}"));
-        json.push_str(&format!(
-            "    \"{name}\": {{\"compiled_speedup\": {:.3}, \"sharded2_speedup\": {:.3}, \"sharded4_speedup\": {:.3}}}{sep}\n",
-            tw / med(&format!("compiled/{name}")),
-            tw / med(&format!("sharded2/{name}")),
-            tw / med(&format!("sharded4/{name}"))
-        ));
+        for variant in ["compiled", "sharded2", "sharded4"] {
+            rows.push(schema::Entry::new(
+                "pack_compiled_ratio",
+                name,
+                format!("{variant}_speedup"),
+                tw / med(&format!("{variant}/{name}")),
+                "x",
+            ));
+        }
     }
-    json.push_str("  }\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pack.json");
-    std::fs::write(path, json).expect("write BENCH_pack.json");
-    println!("  -> BENCH_pack.json");
+    schema::write_bench_json("BENCH_pack.json", &rows, &[("cores", cores.to_string())]);
 }
 
 fn main() {

@@ -16,6 +16,7 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use lio_bench::harness::Group;
+use lio_bench::schema::{self, Entry};
 use lio_core::{File, Hints, SharedFile};
 use lio_datatype::{Datatype, Field};
 use lio_mpi::World;
@@ -86,7 +87,7 @@ fn collective_write(hints: Hints, nprocs: usize) -> f64 {
     })[0]
 }
 
-fn bench_pipeline_write() {
+fn bench_pipeline_write(entries: &mut Vec<Entry>) {
     let nprocs = 4;
     let cb = 32usize << 10;
     let total = NBLOCK * SBLOCK * nprocs as u64;
@@ -97,22 +98,36 @@ fn bench_pipeline_write() {
         (Hints::listless(), "listless"),
     ] {
         g.throughput_bytes(total);
-        g.bench(format!("{ename}/off"), || {
+        let s = g.bench(format!("{ename}/off"), || {
             collective_write(engine.cb_buffer(cb), nprocs);
         });
+        entries.push(Entry::new(
+            "pipeline_write",
+            format!("{ename}/off"),
+            "wall_ns",
+            s.median_ns,
+            "ns",
+        ));
         g.throughput_bytes(total);
-        g.bench(format!("{ename}/on"), || {
+        let s = g.bench(format!("{ename}/on"), || {
             collective_write(
                 engine.cb_buffer(cb).pipelined(true).pipeline_depth(2),
                 nprocs,
             );
         });
+        entries.push(Entry::new(
+            "pipeline_write",
+            format!("{ename}/on"),
+            "wall_ns",
+            s.median_ns,
+            "ns",
+        ));
     }
 }
 
 /// Instrumented single runs: wall-clock improvement and the overlap
 /// proof, per engine, written to `results/pipeline.csv`.
-fn overlap_proof() {
+fn overlap_proof(entries: &mut Vec<Entry>) {
     let nprocs = 4;
     let cb = 32usize << 10;
     println!(
@@ -179,6 +194,28 @@ fn overlap_proof() {
                 wall * 1e3,
             )
             .unwrap();
+            let cfg = format!("{ename}/{}", if pipe { "on" } else { "off" });
+            entries.push(Entry::new(
+                "overlap_proof",
+                cfg.clone(),
+                "wall_ns",
+                wall * 1e9,
+                "ns",
+            ));
+            for (metric, v) in [
+                ("exchange_ns", exch),
+                ("io_ns", io),
+                ("pack_ns", pack),
+                ("overlap_ns", ovlp),
+            ] {
+                entries.push(Entry::new(
+                    "overlap_proof",
+                    cfg.clone(),
+                    metric,
+                    v * 1e6,
+                    "ns",
+                ));
+            }
         }
     }
 
@@ -222,6 +259,18 @@ fn overlap_proof() {
 }
 
 fn main() {
-    bench_pipeline_write();
-    overlap_proof();
+    let mut entries = Vec::new();
+    bench_pipeline_write(&mut entries);
+    overlap_proof(&mut entries);
+    schema::write_bench_json(
+        "BENCH_pipeline.json",
+        &entries,
+        &[(
+            "cores",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .to_string(),
+        )],
+    );
 }

@@ -34,6 +34,21 @@ struct Opts {
 fn main() {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| usage());
+    // subcommands taking positional paths, not figure options
+    match cmd.as_str() {
+        "validate-json" => {
+            let path = args.next().unwrap_or_else(|| usage());
+            validate_json(&path);
+            return;
+        }
+        "bench-compare" => {
+            let baseline = args.next().unwrap_or_else(|| usage());
+            let current = args.next().unwrap_or_else(|| usage());
+            bench_compare(&baseline, &current);
+            return;
+        }
+        _ => {}
+    }
     let mut opts = Opts {
         quick: false,
         data: None,
@@ -66,6 +81,7 @@ fn main() {
         "throttle" => throttle(&opts),
         "tileio" => tileio(&opts),
         "metrics" => metrics(&opts),
+        "trace" => trace_cmd(&opts),
         "all" => {
             fig5(&opts);
             fig6(&opts);
@@ -80,6 +96,7 @@ fn main() {
             throttle(&opts);
             tileio(&opts);
             metrics(&opts);
+            trace_cmd(&opts);
         }
         _ => usage(),
     }
@@ -87,8 +104,8 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro fig5|fig6|fig7|fig8|table1|table2|table3|overheads|multidim|ablation|throttle|tileio|metrics|all \
-         [--quick] [--data BYTES]"
+        "usage: repro fig5|fig6|fig7|fig8|table1|table2|table3|overheads|multidim|ablation|throttle|tileio|metrics|trace|all \
+         [--quick] [--data BYTES]\n       repro validate-json <file>\n       repro bench-compare <baseline.json> <current.json>"
     );
     std::process::exit(2);
 }
@@ -838,6 +855,174 @@ fn metrics(opts: &Opts) {
     println!("  -> results/metrics.json");
     fs::write("BENCH_metrics.json", &json).expect("write BENCH_metrics.json");
     println!("  -> BENCH_metrics.json");
+}
+
+/// `repro trace`: a 4-rank pipelined collective write + read on
+/// throttled storage with event tracing armed, exported as a
+/// Chrome/Perfetto timeline (`results/trace.json`, load it at
+/// `ui.perfetto.dev`) together with the per-op critical-path report
+/// naming the rank and phase that bounded each collective's wall time.
+fn trace_cmd(opts: &Opts) {
+    use lio_core::{File, Hints, SharedFile};
+    use lio_datatype::Datatype;
+    use lio_mpi::World;
+    use lio_obs::trace;
+    use lio_pfs::{MemFile, Throttle, ThrottledFile};
+    use std::time::Duration;
+
+    let nprocs = 4usize;
+    let nblock: u64 = if opts.quick { 128 } else { 512 };
+    let sblock: u64 = 64;
+    let total = 16 * nblock * sblock;
+    println!("# trace: 4-rank pipelined collective write+read, 1 ms/op storage, tracing on");
+
+    // consume the one-shot env checks, then force recording on: this
+    // subcommand exists to produce a timeline
+    lio_obs::init_from_env();
+    trace::init_from_env();
+    lio_obs::reset();
+    lio_obs::set_enabled(true);
+    trace::set_enabled(true);
+    trace::reset();
+
+    let slow = Throttle {
+        read_bw: 2e9,
+        write_bw: 2e9,
+        latency: Duration::from_millis(1),
+    };
+    let shared = SharedFile::new(ThrottledFile::new(MemFile::new(), slow));
+    let hints = Hints::listless()
+        .cb_buffer(4 << 10)
+        .pipelined(true)
+        .pipeline_depth(2);
+    World::run(nprocs, move |comm| {
+        let me = comm.rank() as u64;
+        let mut f = File::open(comm, shared.clone(), hints).expect("open");
+        let ft = lio_noncontig::figure4_filetype(me, nprocs as u64, nblock, sblock);
+        f.set_view(0, Datatype::byte(), ft).expect("set_view");
+        let data = vec![me as u8 + 1; total as usize];
+        f.write_at_all(0, &data, total, &Datatype::byte())
+            .expect("write");
+        let mut back = vec![0u8; total as usize];
+        f.read_at_all(0, &mut back, total, &Datatype::byte())
+            .expect("read");
+        assert_eq!(back, data, "read-back mismatch");
+    });
+
+    let streams = trace::collect();
+    let timeline = trace::merge(&streams);
+    let reports = trace::critical_path(&timeline);
+    lio_obs::set_enabled(false);
+    trace::set_enabled(false);
+
+    let dropped: u64 = streams.iter().map(|s| s.dropped).sum();
+    println!(
+        "  {} events on {} ranks, {} message edges, {} dropped, {} unmatched, {} causal violations",
+        timeline.events.len(),
+        streams.len(),
+        timeline.edges.len(),
+        dropped,
+        timeline.unmatched_sends + timeline.unmatched_recvs,
+        timeline.causal_violations,
+    );
+    print!("{}", trace::render_report(&reports));
+
+    let json = trace::to_chrome_json(&timeline);
+    lio_obs::json::validate(&json).expect("trace export must be well-formed JSON");
+    fs::write("results/trace.json", &json).expect("write trace json");
+    println!("  -> results/trace.json (open at https://ui.perfetto.dev)");
+}
+
+/// `repro validate-json <file>`: the tiny well-formedness checker CI
+/// points at `results/trace.json` and the `BENCH_*.json` artifacts.
+fn validate_json(path: &str) {
+    let s = fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("validate-json: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    match lio_obs::json::validate(&s) {
+        Ok(()) => println!("{path}: well-formed JSON ({} bytes)", s.len()),
+        Err(e) => {
+            eprintln!("{path}: INVALID JSON: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro bench-compare <baseline> <current>`: diff two schema-versioned
+/// `BENCH_*.json` files, matching entries by `(bench, config, metric)`,
+/// and warn on wall-time metrics that regressed by more than 15%.
+fn bench_compare(baseline: &str, current: &str) {
+    use lio_obs::json::{parse, Value};
+
+    let load = |path: &str| -> Value {
+        let s = fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench-compare: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse(&s).unwrap_or_else(|e| {
+            eprintln!("bench-compare: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = load(baseline);
+    let cur = load(current);
+    let version = |v: &Value| v.get("schema_version").and_then(|s| s.as_f64());
+    match (version(&base), version(&cur)) {
+        (Some(a), Some(b)) if a == b => {}
+        (a, b) => {
+            eprintln!(
+                "bench-compare: schema_version mismatch or missing \
+                 (baseline {a:?}, current {b:?}); refusing to diff"
+            );
+            std::process::exit(2);
+        }
+    }
+    let rows = |v: &Value| -> Vec<(String, f64, String)> {
+        v.get("entries")
+            .and_then(|e| e.as_arr())
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|e| {
+                        let key = format!(
+                            "{}/{}/{}",
+                            e.get("bench")?.as_str()?,
+                            e.get("config")?.as_str()?,
+                            e.get("metric")?.as_str()?
+                        );
+                        let unit = e.get("unit")?.as_str()?.to_string();
+                        Some((key, e.get("value")?.as_f64()?, unit))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base_rows = rows(&base);
+    let cur_rows = rows(&cur);
+    let is_time = |unit: &str| matches!(unit, "ns" | "us" | "ms" | "s");
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for (key, cur_v, unit) in &cur_rows {
+        if !is_time(unit) {
+            continue;
+        }
+        let Some((_, base_v, _)) = base_rows.iter().find(|(k, _, _)| k == key) else {
+            continue;
+        };
+        if *base_v <= 0.0 {
+            continue;
+        }
+        compared += 1;
+        let pct = (cur_v - base_v) / base_v * 100.0;
+        if pct > 15.0 {
+            regressions += 1;
+            println!("WARN: {key} regressed {pct:+.1}% ({base_v:.0} {unit} -> {cur_v:.0} {unit})");
+        }
+    }
+    println!(
+        "bench-compare: {compared} time metrics compared, {regressions} regressed > 15% \
+         ({baseline} -> {current})"
+    );
 }
 
 /// The tile-I/O kernel of the paper's related work \[1\] (Ching et al.):

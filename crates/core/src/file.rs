@@ -115,6 +115,10 @@ impl<'c> File<'c> {
         if let Some(on) = hints.obs {
             lio_obs::set_enabled(on);
         }
+        lio_obs::trace::init_from_env();
+        if let Some(on) = hints.trace {
+            lio_obs::trace::set_enabled(on);
+        }
         let view = FileView::bytes();
         let nav = Self::make_nav(view.clone(), hints.engine);
         let coll = twophase::establish_view(comm, &view, hints.engine)?;

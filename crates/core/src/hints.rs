@@ -110,6 +110,11 @@ pub struct Hints {
     /// a file is opened with these hints; `None` leaves the process-global
     /// setting (and the `LIO_OBS` environment variable) in charge.
     pub obs: Option<bool>,
+    /// Event tracing: `Some(on)` forces the `lio-trace` recorder on or off
+    /// when a file is opened with these hints; `None` leaves the
+    /// process-global setting (and the `LIO_TRACE` environment variable)
+    /// in charge.
+    pub trace: Option<bool>,
 }
 
 impl Hints {
@@ -126,6 +131,7 @@ impl Hints {
             pipeline_depth: 2,
             pack_threads: 1,
             obs: None,
+            trace: None,
         }
     }
 
@@ -168,6 +174,15 @@ impl Hints {
     /// `lio_obs::set_enabled` / the `LIO_OBS` environment variable.
     pub fn observability(mut self, on: bool) -> Hints {
         self.obs = Some(on);
+        self
+    }
+
+    /// Force `lio-trace` event recording on or off at open time
+    /// (builder style). The default (`None`) defers to
+    /// `lio_obs::trace::set_enabled` / the `LIO_TRACE` environment
+    /// variable.
+    pub fn tracing(mut self, on: bool) -> Hints {
+        self.trace = Some(on);
         self
     }
 
@@ -301,7 +316,8 @@ impl Hints {
     /// `two_phase_pipeline` (`enable`/`disable`), `pipeline_depth`
     /// (windows in flight, ≥ 1), `pack_threads` (sharded pack/unpack
     /// workers; 0 = auto), `lio_obs` (`enable`/`disable` — force
-    /// metrics recording at open).
+    /// metrics recording at open), `lio_trace` (`enable`/`disable` —
+    /// force event tracing at open).
     ///
     /// ```
     /// use lio_core::{Engine, Hints, SievingMode};
@@ -387,6 +403,13 @@ impl Hints {
                         _ => return Err(HintError::new(k, v, "expected enable or disable")),
                     }
                 }
+                "lio_trace" => {
+                    self.trace = match v {
+                        "enable" | "true" | "1" => Some(true),
+                        "disable" | "false" | "0" => Some(false),
+                        _ => return Err(HintError::new(k, v, "expected enable or disable")),
+                    }
+                }
                 _ => {} // unknown keys are ignored, like MPI_Info
             }
         }
@@ -451,6 +474,12 @@ impl Hints {
         if let Some(on) = self.obs {
             pairs.push((
                 "lio_obs".to_string(),
+                if on { "enable" } else { "disable" }.to_string(),
+            ));
+        }
+        if let Some(on) = self.trace {
+            pairs.push((
+                "lio_trace".to_string(),
                 if on { "enable" } else { "disable" }.to_string(),
             ));
         }
@@ -530,6 +559,29 @@ mod info_tests {
             .apply_info(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
             .unwrap();
         assert_eq!(back.pack_threads, 3);
+    }
+
+    #[test]
+    fn trace_info_key() {
+        let h = Hints::default()
+            .apply_info([("lio_trace", "enable")])
+            .unwrap();
+        assert_eq!(h.trace, Some(true));
+        let h = Hints::default().apply_info([("lio_trace", "0")]).unwrap();
+        assert_eq!(h.trace, Some(false));
+        assert!(Hints::default()
+            .apply_info([("lio_trace", "maybe")])
+            .is_err());
+        // absent by default, emitted (and round-tripped) only when forced
+        assert!(Hints::default()
+            .to_info()
+            .iter()
+            .all(|(k, _)| k != "lio_trace"));
+        let pairs = Hints::default().tracing(true).to_info();
+        let back = Hints::list_based()
+            .apply_info(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+            .unwrap();
+        assert_eq!(back.trace, Some(true));
     }
 
     #[test]

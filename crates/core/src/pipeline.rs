@@ -222,6 +222,7 @@ fn ap_pump(
                 break;
             };
             let t = lio_obs::now();
+            let sp = lio_obs::trace::span_ab("pack", take, lo);
             // zero-copy fast path: contiguous memtypes lift the window
             // straight out of the user buffer, skipping the zero-fill
             let msg = match packer.contig_slice(user, lo - stream_start, take) {
@@ -233,11 +234,14 @@ fn ap_pump(
                     m
                 }
             };
+            drop(sp);
             *pack_ns += lio_obs::elapsed_ns(t);
             if obs {
                 OBS_EXCH_DATA_BYTES.add(take);
             }
+            let sp = lio_obs::trace::span_ab("exch.send", ap.iop as u64, take);
             comm.send_vec(ap.iop, TAG_TP_WIN, msg);
+            drop(sp);
             ap.in_flight += 1;
             progressed = true;
         }
@@ -405,6 +409,7 @@ impl<'a> Planner<'a> {
         let p_n = comm.size();
         let mut hdrs: Vec<Option<Vec<u8>>> = (0..p_n).map(|_| None).collect();
         let mut lists: Vec<Option<Vec<u8>>> = (0..p_n).map(|_| None).collect();
+        let sp = lio_obs::trace::span("exch.wait");
         match engine {
             Engine::ListBased => {
                 let mut reqs: Vec<lio_mpi::Request> = Vec::with_capacity(2 * p_n);
@@ -430,6 +435,7 @@ impl<'a> Planner<'a> {
                 }
             }
         }
+        drop(sp);
         let navs = match engine {
             Engine::ListBased => None,
             Engine::Listless => Some(
@@ -575,7 +581,10 @@ fn spawn_read_lane<'scope>(
     done: Sender<LaneDone>,
     io_ns: &'scope AtomicU64,
 ) {
+    let th = lio_obs::trace::thread_handle();
     scope.spawn(move || {
+        lio_obs::trace::adopt(th);
+        lio_pfs::take_spin_ns();
         for job in rx.iter() {
             let Job {
                 seq,
@@ -584,8 +593,16 @@ fn spawn_read_lane<'scope>(
                 mut buf,
             } = job;
             let t = lio_obs::now();
+            let sp = lio_obs::trace::span_ab("io.read", off, len as u64);
             let res = read_window(storage, off, &mut buf[..len]);
-            io_ns.fetch_add(lio_obs::elapsed_ns(t), Ordering::Relaxed);
+            drop(sp);
+            // book modelled device time only: the throttle's busy-wait
+            // tail is CPU burn and would inflate io_ns / overlap_ns
+            let spin = lio_pfs::take_spin_ns();
+            io_ns.fetch_add(
+                lio_obs::elapsed_ns(t).saturating_sub(spin),
+                Ordering::Relaxed,
+            );
             if done.send(LaneDone::Read { seq, buf, res }).is_err() {
                 break;
             }
@@ -601,11 +618,20 @@ fn spawn_write_lane<'scope>(
     done: Sender<LaneDone>,
     io_ns: &'scope AtomicU64,
 ) {
+    let th = lio_obs::trace::thread_handle();
     scope.spawn(move || {
+        lio_obs::trace::adopt(th);
+        lio_pfs::take_spin_ns();
         for job in rx.iter() {
             let t = lio_obs::now();
+            let sp = lio_obs::trace::span_ab("io.write", job.off, job.len as u64);
             let res = write_window(storage, job.off, &job.buf[..job.len]);
-            io_ns.fetch_add(lio_obs::elapsed_ns(t), Ordering::Relaxed);
+            drop(sp);
+            let spin = lio_pfs::take_spin_ns();
+            io_ns.fetch_add(
+                lio_obs::elapsed_ns(t).saturating_sub(spin),
+                Ordering::Relaxed,
+            );
             if done.send(LaneDone::Write { buf: job.buf, res }).is_err() {
                 break;
             }
@@ -818,7 +844,9 @@ impl<'a> IopWrite<'a> {
     ) {
         let len = (plan.io_hi - plan.io_lo) as usize;
         let navs = self.planner.navs;
+        let _w = lio_obs::trace::span_ab("win", seq, plan.io_lo);
         let t = lio_obs::now();
+        let sp = lio_obs::trace::span_ab("pack.place", plan.io_lo, 0);
         for (p, &take) in plan.takes.iter().enumerate() {
             if take == 0 {
                 continue;
@@ -837,6 +865,7 @@ impl<'a> IopWrite<'a> {
             // one credit per consumed message keeps the AP producing
             comm.send(p, TAG_TP_CREDIT, &[]);
         }
+        drop(sp);
         *pack_ns += lio_obs::elapsed_ns(t);
         if self.fatal.is_none() {
             let ok = wjob_tx
@@ -987,7 +1016,9 @@ pub(crate) fn write_at_all(
                 // completion wakes us immediately) and book the stall as
                 // I/O wait, not exchange.
                 let t = lio_obs::now();
+                let sp = lio_obs::trace::span("io.wait");
                 let got = done_rx.recv_timeout(IO_WAIT_SLICE);
+                drop(sp);
                 io_wait_ns += lio_obs::elapsed_ns(t);
                 if let Ok(d) = got {
                     iop.as_mut()
@@ -1014,6 +1045,7 @@ pub(crate) fn write_at_all(
     match fatal {
         Some(e) => {
             OBS_FAULT_ABORTS.incr();
+            lio_obs::trace::flight_dump("pipelined collective write aborted on a storage fault");
             Err(e)
         }
         None => Ok(total),
@@ -1138,7 +1170,9 @@ pub(crate) fn read_at_all(
                     };
                     // The lane is FIFO, so the next completion is the front.
                     let t = lio_obs::now();
+                    let sp = lio_obs::trace::span("io.wait");
                     let done = done_rx.recv().expect("read lane alive");
+                    drop(sp);
                     io_wait_ns += lio_obs::elapsed_ns(t);
                     let LaneDone::Read { buf, res, .. } = done else {
                         unreachable!("read pipeline has no write lane");
@@ -1148,7 +1182,9 @@ pub(crate) fn read_at_all(
                     }
                     let len = (plan.io_hi - plan.io_lo) as usize;
                     let navs = planner.navs;
+                    let _w = lio_obs::trace::span_ab("win", plan.io_lo, plan.io_hi - plan.io_lo);
                     let t = lio_obs::now();
+                    let sp = lio_obs::trace::span_ab("pack.place", plan.io_lo, 0);
                     for (p, &take) in plan.takes.iter().enumerate() {
                         if take == 0 {
                             continue;
@@ -1173,6 +1209,7 @@ pub(crate) fn read_at_all(
                         }
                         comm.send_vec(p, TAG_TP_RDATA, out);
                     }
+                    drop(sp);
                     pack_ns += lio_obs::elapsed_ns(t);
                     free_bufs.push(buf);
                 }
@@ -1193,10 +1230,14 @@ pub(crate) fn read_at_all(
         .collect();
     let mut remaining = pend.len();
     while remaining > 0 {
+        let sp = lio_obs::trace::span("exch.wait");
         let (idx, src, chunk) = comm.wait_any(&mut reqs);
+        drop(sp);
         debug_assert_eq!(src, pend[idx].0);
         let t = lio_obs::now();
+        let sp = lio_obs::trace::span_ab("unpack", chunk.len() as u64, 0);
         let put = packer.unpack(&chunk, user, pend[idx].1 - stream_start);
+        drop(sp);
         pack_ns += lio_obs::elapsed_ns(t);
         debug_assert_eq!(put, chunk.len());
         pend[idx].1 += chunk.len() as u64;
@@ -1218,6 +1259,7 @@ pub(crate) fn read_at_all(
     match fatal {
         Some(e) => {
             OBS_FAULT_ABORTS.incr();
+            lio_obs::trace::flight_dump("pipelined collective read aborted on a storage fault");
             Err(e)
         }
         None => Ok(total),

@@ -456,6 +456,9 @@ pub(crate) fn write_at_all(
     total: u64,
     hints: &Hints,
 ) -> Result<u64> {
+    // the root trace span delimiting this collective op (both schedules):
+    // the critical-path analyzer keys on its tag
+    let _root = lio_obs::trace::span_ab("coll.write", total, 0);
     if hints.pipeline_enabled() {
         return crate::pipeline::write_at_all(
             storage,
@@ -504,7 +507,9 @@ pub(crate) fn write_at_all(
                 OBS_EXCH_LIST_BYTES.add(list.len() as u64);
             }
             let t = lio_obs::now();
+            let sp = lio_obs::trace::span_ab("exch.send", i as u64, 0);
             comm.send_vec(i, TAG_TP_LIST, list);
+            drop(sp);
             exch_ns += lio_obs::elapsed_ns(t);
         }
         let mut msg = Vec::with_capacity(16 + n as usize);
@@ -512,6 +517,7 @@ pub(crate) fn write_at_all(
         msg.extend_from_slice(&s_hi.to_le_bytes());
         if n > 0 {
             let t = lio_obs::now();
+            let sp = lio_obs::trace::span_ab("pack", n, 0);
             // zero-copy fast path: contiguous memtypes append the user
             // bytes directly instead of zero-filling and re-packing
             if let Some(s) = packer.contig_slice(user, s_lo - stream_start, n) {
@@ -522,13 +528,16 @@ pub(crate) fn write_at_all(
                 let got = packer.pack(user, s_lo - stream_start, &mut msg[base..]);
                 debug_assert_eq!(got as u64, n);
             }
+            drop(sp);
             pack_ns += lio_obs::elapsed_ns(t);
         }
         if obs {
             OBS_EXCH_DATA_BYTES.add(n);
         }
         let t = lio_obs::now();
+        let sp = lio_obs::trace::span_ab("exch.send", i as u64, n);
         comm.send_vec(i, TAG_TP_DATA, msg);
+        drop(sp);
         exch_ns += lio_obs::elapsed_ns(t);
     }
 
@@ -550,6 +559,7 @@ pub(crate) fn write_at_all(
                     let mut lists: Vec<Option<Vec<u8>>> = (0..p_n).map(|_| None).collect();
                     let mut datas: Vec<Option<Vec<u8>>> = (0..p_n).map(|_| None).collect();
                     let t = lio_obs::now();
+                    let sp = lio_obs::trace::span("exch.wait");
                     let mut reqs: Vec<lio_mpi::Request> = Vec::with_capacity(2 * p_n);
                     for p in 0..p_n {
                         reqs.push(comm.irecv(p, TAG_TP_LIST));
@@ -563,6 +573,7 @@ pub(crate) fn write_at_all(
                             datas[src] = Some(payload);
                         }
                     }
+                    drop(sp);
                     exch_ns += lio_obs::elapsed_ns(t);
                     let mut recv: Vec<RecvList> = Vec::with_capacity(p_n);
                     for (list_bytes, msg) in lists.iter().zip(datas) {
@@ -580,12 +591,14 @@ pub(crate) fn write_at_all(
                     let p_n = comm.size();
                     let mut msgs: Vec<Option<Vec<u8>>> = (0..p_n).map(|_| None).collect();
                     let t = lio_obs::now();
+                    let sp = lio_obs::trace::span("exch.wait");
                     let mut reqs: Vec<lio_mpi::Request> =
                         (0..p_n).map(|p| comm.irecv(p, TAG_TP_DATA)).collect();
                     for _ in 0..p_n {
                         let (_, src, payload) = comm.wait_any(&mut reqs);
                         msgs[src] = Some(payload);
                     }
+                    drop(sp);
                     exch_ns += lio_obs::elapsed_ns(t);
                     let mut placements: Vec<FfPlacement> = Vec::with_capacity(p_n);
                     for (nav_p, msg) in navs.iter().zip(msgs) {
@@ -610,7 +623,9 @@ pub(crate) fn write_at_all(
     }
 
     let t = lio_obs::now();
+    let sp = lio_obs::trace::span("exch.barrier");
     comm.barrier();
+    drop(sp);
     exch_ns += lio_obs::elapsed_ns(t);
     if obs {
         OBS_W_EXCH_NS.add(exch_ns);
@@ -619,6 +634,7 @@ pub(crate) fn write_at_all(
     match fatal {
         Some(e) => {
             OBS_FAULT_ABORTS.incr();
+            lio_obs::trace::flight_dump("collective write aborted on a storage fault");
             Err(e)
         }
         None => Ok(total),
@@ -662,19 +678,26 @@ fn iop_write_listbased(
             .any(|r| r.next_offset().is_some_and(|o| o < win_end));
         if has_data {
             windows += 1;
+            let _w = lio_obs::trace::span_ab("win", windows - 1, win);
             let dense = coverage.as_mut().is_some_and(|c| c.covered(win, win_end));
             if !dense {
                 let t = lio_obs::now();
+                let sp = lio_obs::trace::span_ab("io.read", win, fb.len() as u64);
                 read_window(storage, win, fb)?;
+                drop(sp);
                 io_ns += lio_obs::elapsed_ns(t);
             }
             let t = lio_obs::now();
+            let sp = lio_obs::trace::span_ab("pack.place", win, 0);
             for r in recv.iter_mut() {
                 r.place_into(fb, win, win_end);
             }
+            drop(sp);
             pack_ns += lio_obs::elapsed_ns(t);
             let t = lio_obs::now();
+            let sp = lio_obs::trace::span_ab("io.write", win, fb.len() as u64);
             write_window(storage, win, fb)?;
+            drop(sp);
             io_ns += lio_obs::elapsed_ns(t);
         }
         win = win_end;
@@ -739,6 +762,7 @@ fn iop_write_listless(
         }
         if any {
             windows += 1;
+            let _w = lio_obs::trace::span_ab("win", windows - 1, win);
             let dense = hints.detect_dense_writes
                 && state
                     .merge
@@ -746,10 +770,13 @@ fn iop_write_listless(
                     .is_some_and(|m| m.covered(win, win_end));
             if !dense {
                 let t = lio_obs::now();
+                let sp = lio_obs::trace::span_ab("io.read", win, fb.len() as u64);
                 read_window(storage, win, fb)?;
+                drop(sp);
                 io_ns += lio_obs::elapsed_ns(t);
             }
             let t = lio_obs::now();
+            let sp = lio_obs::trace::span_ab("pack.place", win, 0);
             for (k, p) in placements.iter().enumerate() {
                 if takes[k] == 0 {
                     continue;
@@ -762,9 +789,12 @@ fn iop_write_listless(
                 debug_assert_eq!(placed as u64, takes[k]);
                 cursors[k] += takes[k];
             }
+            drop(sp);
             pack_ns += lio_obs::elapsed_ns(t);
             let t = lio_obs::now();
+            let sp = lio_obs::trace::span_ab("io.write", win, fb.len() as u64);
             write_window(storage, win, fb)?;
+            drop(sp);
             io_ns += lio_obs::elapsed_ns(t);
         }
         win = win_end;
@@ -791,6 +821,8 @@ pub(crate) fn read_at_all(
     total: u64,
     hints: &Hints,
 ) -> Result<u64> {
+    // root trace span delimiting this collective op (both schedules)
+    let _root = lio_obs::trace::span_ab("coll.read", total, 0);
     if hints.pipeline_enabled() {
         return crate::pipeline::read_at_all(
             storage,
@@ -841,14 +873,18 @@ pub(crate) fn read_at_all(
                 OBS_EXCH_LIST_BYTES.add(list.len() as u64);
             }
             let t = lio_obs::now();
+            let sp = lio_obs::trace::span_ab("exch.send", i as u64, 0);
             comm.send_vec(i, TAG_TP_LIST, list);
+            drop(sp);
             exch_ns += lio_obs::elapsed_ns(t);
         }
         let mut msg = Vec::with_capacity(16);
         msg.extend_from_slice(&s_lo.to_le_bytes());
         msg.extend_from_slice(&s_hi.to_le_bytes());
         let t = lio_obs::now();
+        let sp = lio_obs::trace::span_ab("exch.send", i as u64, 0);
         comm.send_vec(i, TAG_TP_DATA, msg);
+        drop(sp);
         exch_ns += lio_obs::elapsed_ns(t);
     }
 
@@ -867,6 +903,7 @@ pub(crate) fn read_at_all(
                 // bytes promised to each AP, from the announce header
                 let mut promised: Vec<u64> = Vec::with_capacity(comm.size());
                 let t = lio_obs::now();
+                let sp = lio_obs::trace::span("exch.wait");
                 for p in 0..comm.size() {
                     let list_bytes = comm.recv(p, TAG_TP_LIST);
                     let hdr = comm.recv(p, TAG_TP_DATA);
@@ -882,6 +919,7 @@ pub(crate) fn read_at_all(
                     }
                     outs.push(Vec::new());
                 }
+                drop(sp);
                 exch_ns += lio_obs::elapsed_ns(t);
                 let lo = recv.iter().filter_map(|r| r.next_offset()).min();
                 let hi = recv.iter().filter_map(|r| r.end_offset()).max();
@@ -901,16 +939,21 @@ pub(crate) fn read_at_all(
                             if obs {
                                 OBS_WINDOWS.incr();
                             }
+                            let _w = lio_obs::trace::span_ab("win", win, win_end - win);
                             let t = lio_obs::now();
+                            let sp = lio_obs::trace::span_ab("io.read", win, fb.len() as u64);
                             if let Err(e) = read_window(storage, win, fb) {
                                 fatal = Some(e);
                                 break;
                             }
+                            drop(sp);
                             io_ns += lio_obs::elapsed_ns(t);
                             let t = lio_obs::now();
+                            let sp = lio_obs::trace::span_ab("pack.place", win, 0);
                             for (r, out) in recv.iter_mut().zip(outs.iter_mut()) {
                                 r.extract_from(fb, win, win_end, out);
                             }
+                            drop(sp);
                             pack_ns += lio_obs::elapsed_ns(t);
                         }
                         win = win_end;
@@ -935,12 +978,14 @@ pub(crate) fn read_at_all(
                     .expect("listless collective requires cached fileviews");
                 let mut spans: Vec<(u64, u64)> = Vec::with_capacity(comm.size());
                 let t = lio_obs::now();
+                let sp = lio_obs::trace::span("exch.wait");
                 for p in 0..comm.size() {
                     let msg = comm.recv(p, TAG_TP_DATA);
                     let s_lo = u64::from_le_bytes(msg[0..8].try_into().expect("s_lo"));
                     let s_hi = u64::from_le_bytes(msg[8..16].try_into().expect("s_hi"));
                     spans.push((s_lo, s_hi));
                 }
+                drop(sp);
                 exch_ns += lio_obs::elapsed_ns(t);
                 let lo = spans
                     .iter()
@@ -984,13 +1029,17 @@ pub(crate) fn read_at_all(
                             if obs {
                                 OBS_WINDOWS.incr();
                             }
+                            let _w = lio_obs::trace::span_ab("win", win, win_end - win);
                             let t = lio_obs::now();
+                            let sp = lio_obs::trace::span_ab("io.read", win, fb.len() as u64);
                             if let Err(e) = read_window(storage, win, fb) {
                                 fatal = Some(e);
                                 break;
                             }
+                            drop(sp);
                             io_ns += lio_obs::elapsed_ns(t);
                             let t = lio_obs::now();
+                            let sp = lio_obs::trace::span_ab("pack.place", win, 0);
                             for (k, nav_p) in navs.iter().enumerate() {
                                 if takes[k] == 0 {
                                     continue;
@@ -1006,6 +1055,7 @@ pub(crate) fn read_at_all(
                                 debug_assert_eq!(got as u64, takes[k]);
                                 cursors[k] += takes[k];
                             }
+                            drop(sp);
                             pack_ns += lio_obs::elapsed_ns(t);
                         }
                         win = win_end;
@@ -1032,13 +1082,17 @@ pub(crate) fn read_at_all(
             continue;
         }
         let t = lio_obs::now();
+        let sp = lio_obs::trace::span_ab("exch.wait", i as u64, 0);
         let data = comm.recv(i, TAG_TP_RDATA);
+        drop(sp);
         exch_ns += lio_obs::elapsed_ns(t);
         let (s_lo, s_hi) = my_intersections[i];
         debug_assert_eq!(data.len() as u64, s_hi - s_lo);
         if s_hi > s_lo {
             let t = lio_obs::now();
+            let sp = lio_obs::trace::span_ab("unpack", data.len() as u64, 0);
             let put = packer.unpack(&data, user, s_lo - stream_start);
+            drop(sp);
             pack_ns += lio_obs::elapsed_ns(t);
             debug_assert_eq!(put, data.len());
         }
@@ -1051,6 +1105,7 @@ pub(crate) fn read_at_all(
     match fatal {
         Some(e) => {
             OBS_FAULT_ABORTS.incr();
+            lio_obs::trace::flight_dump("collective read aborted on a storage fault");
             Err(e)
         }
         None => Ok(total),

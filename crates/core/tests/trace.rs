@@ -1,0 +1,214 @@
+//! Trace-correctness tests (deterministic, 4 ranks): every span closes,
+//! cross-rank send→recv edges are causally ordered after the merge, the
+//! ring buffer drops oldest-first on wraparound without corrupting the
+//! export, and the critical-path analyzer names a bounding phase for a
+//! pipelined collective write.
+
+mod common;
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use lio_core::{File, Hints, SharedFile};
+use lio_datatype::{Datatype, Field};
+use lio_mpi::World;
+use lio_obs::trace;
+use lio_pfs::{MemFile, Throttle, ThrottledFile};
+
+/// Serialize tests touching the global trace state (cargo runs tests in
+/// one process, many threads) and restore defaults afterwards.
+fn with_trace<R>(f: impl FnOnce() -> R) -> R {
+    static GATE: Mutex<()> = Mutex::new(());
+    let _g = GATE.lock().unwrap();
+    trace::set_capacity(trace::DEFAULT_CAPACITY);
+    trace::set_enabled(true);
+    let r = f();
+    trace::set_enabled(false);
+    trace::set_capacity(trace::DEFAULT_CAPACITY);
+    r
+}
+
+/// The interleaved filetype every collective test writes through: rank r
+/// owns block slot r of each stride.
+fn interleaved_ft(sblock: u64, nblock: u64, slots: u64) -> Datatype {
+    let block = Datatype::contiguous(sblock, &Datatype::byte()).unwrap();
+    let v = Datatype::vector(nblock, 1, slots as i64, &block).unwrap();
+    let extent = nblock * slots * sblock;
+    Datatype::struct_type(vec![
+        Field {
+            disp: 0,
+            count: 1,
+            child: Datatype::lb_marker(),
+        },
+        Field {
+            disp: 0,
+            count: 1,
+            child: v,
+        },
+        Field {
+            disp: extent as i64,
+            count: 1,
+            child: Datatype::ub_marker(),
+        },
+    ])
+    .unwrap()
+}
+
+/// Run one 4-rank collective write + read-back under `hints` against the
+/// given storage, with tracing armed, and return the collected streams.
+fn traced_collective(hints: Hints, shared: SharedFile) -> Vec<trace::RankStream> {
+    trace::reset();
+    let sh = shared;
+    World::run(4, move |comm| {
+        let me = comm.rank() as u64;
+        let ft = interleaved_ft(32, 8, comm.size() as u64 + 1);
+        let mut f = File::open(comm, sh.clone(), hints).unwrap();
+        f.set_view(me * 32, Datatype::byte(), ft).unwrap();
+        let n = 8 * 32u64;
+        let data: Vec<u8> = (0..n).map(|i| (me * 31 + i) as u8).collect();
+        f.write_at_all(0, &data, n, &Datatype::byte()).unwrap();
+        let mut back = vec![0u8; n as usize];
+        f.read_at_all(0, &mut back, n, &Datatype::byte()).unwrap();
+        assert_eq!(back, data, "rank {me} read back foreign bytes");
+    });
+    trace::collect()
+}
+
+#[test]
+fn every_span_closes() {
+    with_trace(|| {
+        let streams = traced_collective(Hints::default(), SharedFile::new(MemFile::new()));
+        assert!(!streams.is_empty(), "no events recorded");
+        for s in &streams {
+            assert_eq!(s.dropped, 0, "rank {} overflowed its ring", s.rank);
+            // per export track, Begin/End must pair up like brackets
+            let mut open: HashMap<u32, Vec<u64>> = HashMap::new();
+            for ev in &s.events {
+                match ev.kind {
+                    trace::Kind::SpanBegin => {
+                        open.entry(ev.tid).or_default().push(ev.span_id);
+                    }
+                    trace::Kind::SpanEnd => {
+                        let stack = open.get_mut(&ev.tid).unwrap_or_else(|| {
+                            panic!("rank {} tid {}: end without begin", s.rank, ev.tid)
+                        });
+                        let top = stack.pop().expect("end without matching begin");
+                        assert_eq!(
+                            top, ev.span_id,
+                            "rank {} tid {}: spans closed out of order",
+                            s.rank, ev.tid
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            for (tid, stack) in open {
+                assert!(
+                    stack.is_empty(),
+                    "rank {} tid {tid}: {} spans never closed: {stack:?}",
+                    s.rank,
+                    stack.len()
+                );
+            }
+        }
+        // exporting must yield well-formed JSON
+        let tl = trace::merge(&streams);
+        lio_obs::json::validate(&trace::to_chrome_json(&tl)).expect("chrome export parses");
+    });
+}
+
+#[test]
+fn send_recv_edges_are_causal() {
+    with_trace(|| {
+        let streams = traced_collective(Hints::default(), SharedFile::new(MemFile::new()));
+        let tl = trace::merge(&streams);
+        assert!(!tl.edges.is_empty(), "collective produced no message edges");
+        assert_eq!(tl.unmatched_sends, 0, "sends without a matching recv");
+        assert_eq!(tl.unmatched_recvs, 0, "recvs without a matching send");
+        assert_eq!(tl.causal_violations, 0, "recv timestamped before send");
+        for e in &tl.edges {
+            assert!(
+                e.send_ts <= e.recv_ts,
+                "edge {}→{} seq {} travels backwards in time",
+                e.src_rank,
+                e.dst_rank,
+                e.seq
+            );
+        }
+        // the merged event list is time-sorted
+        assert!(
+            tl.events.windows(2).all(|w| w[0].ts <= w[1].ts),
+            "merged timeline is not time-ordered"
+        );
+    });
+}
+
+#[test]
+fn ring_wraparound_drops_oldest_first() {
+    with_trace(|| {
+        trace::set_capacity(64);
+        trace::set_thread_rank(0);
+        let pushed = 200u64;
+        for i in 0..pushed {
+            trace::mark("test.mark", i, 0);
+        }
+        let streams = trace::collect();
+        let s = streams.iter().find(|s| s.rank == 0).expect("rank 0 stream");
+        assert_eq!(s.events.len(), 64, "export must hold exactly one ring");
+        assert_eq!(s.dropped, pushed - 64, "drop count disagrees");
+        // oldest-first: the survivors are the newest 64 marks, in order
+        for (k, ev) in s.events.iter().enumerate() {
+            assert_eq!(
+                ev.a,
+                pushed - 64 + k as u64,
+                "slot {k} holds the wrong event after wraparound"
+            );
+        }
+        assert!(
+            s.events.windows(2).all(|w| w[0].ts <= w[1].ts),
+            "wrapped export is not time-ordered"
+        );
+        // and it still exports cleanly
+        let tl = trace::merge(&streams);
+        assert_eq!(tl.dropped, pushed - 64);
+        lio_obs::json::validate(&trace::to_chrome_json(&tl)).expect("wrapped export parses");
+    });
+}
+
+#[test]
+fn critical_path_names_a_bounding_phase() {
+    with_trace(|| {
+        // a modelled-slow device makes the phase attribution non-trivial
+        let slow = Throttle {
+            read_bw: 500e6,
+            write_bw: 500e6,
+            latency: std::time::Duration::from_micros(200),
+        };
+        let shared = SharedFile::new(ThrottledFile::new(Arc::new(MemFile::new()), slow));
+        let hints = Hints::default()
+            .cb_buffer(1 << 10)
+            .pipelined(true)
+            .pipeline_depth(2);
+        let streams = traced_collective(hints, shared);
+        let tl = trace::merge(&streams);
+        let reports = trace::critical_path(&tl);
+        // one write + one read collective
+        assert_eq!(reports.len(), 2, "expected two collective ops");
+        assert_eq!(reports[0].tag, "coll.write");
+        assert_eq!(reports[1].tag, "coll.read");
+        for r in &reports {
+            assert!(r.wall_ns > 0, "op {} has zero wall time", r.index);
+            assert!((r.bound_rank as usize) < 4, "bounding rank out of range");
+            let phase_total = r.exchange_ns + r.io_ns + r.pack_ns;
+            assert!(phase_total > 0, "op {} attributed no phase time", r.index);
+        }
+        let table = trace::render_report(&reports);
+        assert!(table.contains("coll.write"), "report table lacks the op");
+        for r in &reports {
+            assert!(
+                table.contains(r.bounding.name()),
+                "report table lacks the bounding phase"
+            );
+        }
+    });
+}

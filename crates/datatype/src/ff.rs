@@ -506,7 +506,12 @@ pub fn ff_pack_shards(
             if obs {
                 OBS_SHARD_BYTES.record(take as u64);
             }
-            handles.push(scope.spawn(move || pack_span(src, 0, count, d, shard_skip, chunk)));
+            let th = lio_obs::trace::thread_handle();
+            handles.push(scope.spawn(move || {
+                lio_obs::trace::adopt(th);
+                let _sp = lio_obs::trace::span_ab("dt.pack.shard", take as u64, 0);
+                pack_span(src, 0, count, d, shard_skip, chunk)
+            }));
         }
         if obs {
             OBS_SHARD_SHARDS.add(handles.len() as u64);
@@ -595,7 +600,10 @@ pub fn ff_unpack_shards(
             if obs {
                 OBS_SHARD_BYTES.record(hi - lo);
             }
+            let th = lio_obs::trace::thread_handle();
             handles.push(scope.spawn(move || {
+                lio_obs::trace::adopt(th);
+                let _sp = lio_obs::trace::span_ab("dt.unpack.shard", hi - lo, 0);
                 unpack_span(shard_pack, chunk, p_lo as i64, count, d, skipbytes + lo)
             }));
         }

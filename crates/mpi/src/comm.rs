@@ -240,6 +240,11 @@ impl Comm {
             s[dst] += 1;
             s[dst]
         };
+        // The per-channel sequence number doubles as the causal-edge key
+        // for cross-rank trace merging (a duplicate delivery is one
+        // logical message: one send event, and `accept` records the
+        // receive only for the copy it keeps).
+        lio_obs::trace::msg_send(dst as u32, seq, payload.len() as u64);
         let dup = match self.fault.borrow_mut().as_mut() {
             Some(f) => f.dup_send(),
             None => false,
@@ -284,6 +289,7 @@ impl Comm {
             return false;
         }
         seen[msg.src] = msg.seq;
+        lio_obs::trace::msg_recv(msg.src as u32, msg.seq, msg.payload.len() as u64);
         true
     }
 
@@ -437,7 +443,10 @@ impl Comm {
     pub fn wait(&self, req: &mut Request) -> (usize, Vec<u8>) {
         match std::mem::replace(&mut req.state, ReqState::Done) {
             ReqState::SendDone => (self.rank, Vec::new()),
-            ReqState::Recv { src, tag } => (src, self.recv_raw(src, tag)),
+            ReqState::Recv { src, tag } => {
+                let _sp = lio_obs::trace::span("mpi.wait");
+                (src, self.recv_raw(src, tag))
+            }
             ReqState::Done => panic!("wait on a completed request"),
         }
     }
@@ -468,6 +477,7 @@ impl Comm {
             reqs.iter().any(|r| !r.is_done()),
             "wait_any on no active requests"
         );
+        let _sp = lio_obs::trace::span("mpi.wait");
         loop {
             // An installed fault plan may rotate the scan start, so which
             // of several satisfiable requests completes first is

@@ -35,7 +35,14 @@ impl World {
         std::thread::scope(|s| {
             let handles: Vec<_> = comms
                 .into_iter()
-                .map(|comm| s.spawn(move || f(&comm)))
+                .map(|comm| {
+                    s.spawn(move || {
+                        // claim this thread's trace buffer before user code
+                        // can open spans or send messages
+                        lio_obs::trace::set_thread_rank(comm.rank() as u32);
+                        f(&comm)
+                    })
+                })
                 .collect();
             for (slot, h) in results.iter_mut().zip(handles) {
                 match h.join() {

@@ -22,6 +22,18 @@
 //!
 //! Metric name convention: `layer.object.what`, e.g. `pfs.read.bytes`,
 //! `mpi.p2p.msgs`, `dt.pack.blocks`, `core.coll.write.exchange_ns`.
+//!
+//! The [`trace`] module adds per-rank *event* recording on top of the
+//! aggregate metrics (spans, message edges, Perfetto export,
+//! critical-path analysis); [`json`] is the tiny parser the tooling
+//! uses to check emitted artifacts.
+
+pub mod json;
+#[cfg(feature = "trace")]
+pub mod trace;
+#[cfg(not(feature = "trace"))]
+#[path = "trace_off.rs"]
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};

@@ -21,6 +21,11 @@ static OBS_WRITE_BYTES: LazyCounter = LazyCounter::new("pfs.write.bytes");
 static OBS_READ_SIZE: LazyHistogram = LazyHistogram::new("pfs.read.size");
 static OBS_WRITE_SIZE: LazyHistogram = LazyHistogram::new("pfs.write.size");
 static OBS_THROTTLE_NS: LazyCounter = LazyCounter::new("pfs.throttle.delay_ns");
+/// Wall time burnt in the busy-wait tail of [`throttle_delay`]. This is
+/// CPU time, not modelled device time: consumers that account "storage
+/// time" from wall clocks (the pipelined engine's lane accounting)
+/// subtract it so overlap numbers aren't inflated by the spin.
+static OBS_SPIN_NS: LazyCounter = LazyCounter::new("pfs.throttle.spin_ns");
 static OBS_FAULTS_INJECTED: LazyCounter = LazyCounter::new("pfs.faults.injected");
 /// High-water mark of concurrently in-flight throttled storage ops,
 /// process-wide. > 1 proves the pipelined collective engine genuinely
@@ -103,7 +108,22 @@ impl<F: StorageFile> ThrottledFile<F> {
 /// above sleeps first so the waiting thread yields its core.
 const SPIN_TAIL: Duration = Duration::from_micros(100);
 
-fn throttle_delay(d: Duration) {
+// Per-thread accumulator of spin-tail nanoseconds, so a caller timing a
+// storage op with a wall clock can subtract the CPU busy-wait share of
+// the throttle from "device time" (see `take_spin_ns`).
+thread_local! {
+    static SPIN_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Drain the calling thread's accumulated throttle spin-tail time (ns).
+/// The pipelined collective engine calls this around each storage lane
+/// op: the spin is CPU burn, not modelled device time, and must not be
+/// credited to `core.coll.*.io_ns` / `overlap_ns`.
+pub fn take_spin_ns() -> u64 {
+    SPIN_NS.with(|c| c.replace(0))
+}
+
+fn throttle_delay(d: Duration) -> Duration {
     let start = Instant::now();
     if d > SPIN_TAIL {
         std::thread::sleep(d - SPIN_TAIL);
@@ -111,10 +131,16 @@ fn throttle_delay(d: Duration) {
     // Clamp the busy-wait to SPIN_TAIL past the sleep: under heavy
     // oversubscription the sleep overshoots, and an unbounded spin on
     // `start.elapsed()` would then burn a core well past the deadline.
-    let spin_deadline = Instant::now() + SPIN_TAIL;
+    let spin_start = Instant::now();
+    let spin_deadline = spin_start + SPIN_TAIL;
     while start.elapsed() < d && Instant::now() < spin_deadline {
         std::hint::spin_loop();
     }
+    let spun = spin_start.elapsed();
+    let ns = spun.as_nanos() as u64;
+    SPIN_NS.with(|c| c.set(c.get().saturating_add(ns)));
+    OBS_SPIN_NS.add(ns);
+    spun
 }
 
 /// RAII guard maintaining the in-flight-ops high-water mark.
@@ -137,19 +163,25 @@ impl Drop for InflightOp {
 impl<F: StorageFile> StorageFile for ThrottledFile<F> {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
         let _op = InflightOp::enter();
+        let mut sp = lio_obs::trace::span("pfs.read");
         let n = self.inner.read_at(offset, buf)?;
         let d = self.throttle.delay_for(n, false);
         OBS_THROTTLE_NS.add(d.as_nanos() as u64);
-        throttle_delay(d);
+        let spun = throttle_delay(d);
+        // the span's wall time includes the spin tail; the payload keeps
+        // modelled device time and CPU spin separable downstream
+        sp.set_payload(n as u64, d.as_nanos() as u64, spun.as_nanos() as u64);
         Ok(n)
     }
 
     fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<usize> {
         let _op = InflightOp::enter();
+        let mut sp = lio_obs::trace::span("pfs.write");
         let n = self.inner.write_at(offset, buf)?;
         let d = self.throttle.delay_for(n, true);
         OBS_THROTTLE_NS.add(d.as_nanos() as u64);
-        throttle_delay(d);
+        let spun = throttle_delay(d);
+        sp.set_payload(n as u64, d.as_nanos() as u64, spun.as_nanos() as u64);
         Ok(n)
     }
 

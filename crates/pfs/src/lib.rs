@@ -27,7 +27,9 @@ pub mod lock;
 pub mod retry;
 pub mod stripe;
 
-pub use decorate::{CountingFile, FaultPlan, FaultyFile, IoStats, Throttle, ThrottledFile};
+pub use decorate::{
+    take_spin_ns, CountingFile, FaultPlan, FaultyFile, IoStats, Throttle, ThrottledFile,
+};
 pub use file::{MemFile, StorageFile, UnixFile};
 pub use lock::{RangeGuard, RangeLock};
 pub use retry::{RetryExhausted, RetryPolicy};

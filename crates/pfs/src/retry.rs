@@ -144,7 +144,9 @@ impl RetryPolicy {
                     if attempt >= self.max_attempts {
                         return Err(exhausted("read", attempt, e));
                     }
-                    backoff_wait(self.backoff(attempt));
+                    let bo = self.backoff(attempt);
+                    lio_obs::trace::mark("pfs.retry", attempt as u64, bo.as_nanos() as u64);
+                    backoff_wait(bo);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -178,7 +180,9 @@ impl RetryPolicy {
                     if attempt >= self.max_attempts {
                         return Err(exhausted("write", attempt, e));
                     }
-                    backoff_wait(self.backoff(attempt));
+                    let bo = self.backoff(attempt);
+                    lio_obs::trace::mark("pfs.retry", attempt as u64, bo.as_nanos() as u64);
+                    backoff_wait(bo);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -198,7 +202,9 @@ impl RetryPolicy {
                     if attempt >= self.max_attempts {
                         return Err(exhausted("sync", attempt, e));
                     }
-                    backoff_wait(self.backoff(attempt));
+                    let bo = self.backoff(attempt);
+                    lio_obs::trace::mark("pfs.retry", attempt as u64, bo.as_nanos() as u64);
+                    backoff_wait(bo);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
