@@ -50,6 +50,15 @@ echo "== repro trace + validate-json"
 grep -q "bounding" /tmp/lio_trace_out.txt
 ./target/release/repro validate-json results/trace.json
 
+# Access-pattern profiler + hint advisor: the three reference workloads
+# must produce per-rule recommendations with printed reasoning and a
+# schema-versioned, well-formed profile artifact.
+echo "== repro profile + validate-json"
+./target/release/repro profile --quick | tee /tmp/lio_profile_out.txt
+grep -q "engine=listless" /tmp/lio_profile_out.txt
+grep -q "two_phase_pipeline=enable" /tmp/lio_profile_out.txt
+./target/release/repro validate-json results/profile.json
+
 # Compiled-program overhead gate: on a flat-contiguous type the run
 # program must stay within 2% of the naive tree walk (exits non-zero
 # on a sustained violation).
@@ -61,6 +70,11 @@ LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench pack_overhead
 echo "== trace_overhead gate"
 LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench trace_overhead
 
+# Profiler overhead: same noise-floor structure — with profiling
+# disabled the record hooks must be within run-to-run noise.
+echo "== profile_overhead gate"
+LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench profile_overhead
+
 # Perf trajectory: regenerate the pipeline bench artifact and compare
 # against the committed baseline; warns (never fails) on >15% wall-time
 # regressions so noisy hosts don't block, but the drift is on record.
@@ -70,6 +84,13 @@ if git show HEAD:BENCH_pipeline.json > /tmp/lio_bench_baseline.json 2>/dev/null;
   ./target/release/repro bench-compare /tmp/lio_bench_baseline.json BENCH_pipeline.json
 else
   echo "  (no committed BENCH_pipeline.json baseline yet — skipping)"
+fi
+if git show HEAD:BENCH_metrics.json > /tmp/lio_metrics_baseline.json 2>/dev/null \
+    && grep -q schema_version /tmp/lio_metrics_baseline.json; then
+  ./target/release/repro metrics --quick
+  ./target/release/repro bench-compare /tmp/lio_metrics_baseline.json BENCH_metrics.json
+else
+  echo "  (no schema-versioned BENCH_metrics.json baseline yet — skipping)"
 fi
 
 # Fault corpus: the three fixed seeds plus a rotating, commit-derived

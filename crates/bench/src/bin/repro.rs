@@ -82,6 +82,7 @@ fn main() {
         "tileio" => tileio(&opts),
         "metrics" => metrics(&opts),
         "trace" => trace_cmd(&opts),
+        "profile" => profile_cmd(&opts),
         "all" => {
             fig5(&opts);
             fig6(&opts);
@@ -97,6 +98,7 @@ fn main() {
             tileio(&opts);
             metrics(&opts);
             trace_cmd(&opts);
+            profile_cmd(&opts);
         }
         _ => usage(),
     }
@@ -104,7 +106,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro fig5|fig6|fig7|fig8|table1|table2|table3|overheads|multidim|ablation|throttle|tileio|metrics|trace|all \
+        "usage: repro fig5|fig6|fig7|fig8|table1|table2|table3|overheads|multidim|ablation|throttle|tileio|metrics|trace|profile|all \
          [--quick] [--data BYTES]\n       repro validate-json <file>\n       repro bench-compare <baseline.json> <current.json>"
     );
     std::process::exit(2);
@@ -769,6 +771,7 @@ fn metrics(opts: &Opts) {
     ));
 
     let mut json = String::from("{\n");
+    let mut entries: Vec<lio_bench::schema::Entry> = Vec::new();
     for (i, (key, hints, throttled)) in configs.iter().enumerate() {
         lio_obs::reset();
         lio_obs::set_enabled(true);
@@ -847,14 +850,75 @@ fn metrics(opts: &Opts) {
                 snap.gauge("core.coll.pipeline.peak_buffered_bytes"),
             );
         }
+        // satellite: request-size quantiles straight from the log2
+        // histograms — the shape data sieving / two-phase is supposed
+        // to move (tiny accesses -> buffer-sized ones)
+        if let Some(h) = snap.histogram("pfs.write.size") {
+            println!(
+                "  {key}: pfs write sizes p50/p95/p99 = {}/{}/{} B ({} calls)",
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.count,
+            );
+        }
+        {
+            use lio_bench::schema::Entry;
+            let e = |metric: &str, value: f64, unit: &'static str| {
+                Entry::new("metrics", key.clone(), metric, value, unit)
+            };
+            for op in ["write", "read"] {
+                for phase in ["exchange", "io", "pack"] {
+                    let v = snap.counter(&format!("core.coll.{op}.{phase}_ns"));
+                    entries.push(e(&format!("{op}_{phase}_ns"), v as f64, "ns"));
+                }
+            }
+            entries.push(e(
+                "pfs_accesses",
+                (snap.counter("pfs.read.calls") + snap.counter("pfs.write.calls")) as f64,
+                "count",
+            ));
+            entries.push(e(
+                "pfs_write_bytes",
+                snap.counter("pfs.write.bytes") as f64,
+                "bytes",
+            ));
+            entries.push(e(
+                "exchange_list_bytes",
+                snap.counter("core.coll.exchange.list_bytes") as f64,
+                "bytes",
+            ));
+            entries.push(e(
+                "exchange_data_bytes",
+                snap.counter("core.coll.exchange.data_bytes") as f64,
+                "bytes",
+            ));
+            for (hname, short) in [
+                ("pfs.write.size", "write_size"),
+                ("pfs.read.size", "read_size"),
+            ] {
+                if let Some(h) = snap.histogram(hname) {
+                    entries.push(e(&format!("pfs_{short}_p50"), h.p50() as f64, "bytes"));
+                    entries.push(e(&format!("pfs_{short}_p95"), h.p95() as f64, "bytes"));
+                    entries.push(e(&format!("pfs_{short}_p99"), h.p99() as f64, "bytes"));
+                }
+            }
+        }
         let sep = if i + 1 < configs.len() { "," } else { "" };
         writeln!(json, "  \"{key}\": {}{sep}", snap.to_json()).unwrap();
     }
     json.push_str("}\n");
     fs::write("results/metrics.json", &json).expect("write metrics json");
     println!("  -> results/metrics.json");
-    fs::write("BENCH_metrics.json", &json).expect("write BENCH_metrics.json");
-    println!("  -> BENCH_metrics.json");
+    lio_bench::schema::write_bench_json(
+        "BENCH_metrics.json",
+        &entries,
+        &[
+            ("nprocs", nprocs.to_string()),
+            ("nblock", nblock.to_string()),
+            ("sblock", sblock.to_string()),
+        ],
+    );
 }
 
 /// `repro trace`: a 4-rank pipelined collective write + read on
@@ -925,12 +989,161 @@ fn trace_cmd(opts: &Opts) {
         timeline.unmatched_sends + timeline.unmatched_recvs,
         timeline.causal_violations,
     );
-    print!("{}", trace::render_report(&reports));
+    print!("{}", trace::render_report(&reports, &timeline));
 
     let json = trace::to_chrome_json(&timeline);
     lio_obs::json::validate(&json).expect("trace export must be well-formed JSON");
     fs::write("results/trace.json", &json).expect("write trace json");
     println!("  -> results/trace.json (open at https://ui.perfetto.dev)");
+}
+
+/// `repro profile`: run structurally different workloads — the Figure 5
+/// independent pattern, the Figure 6 collective on throttled storage,
+/// and a BTIO-style nested-datatype pack — with the access-pattern
+/// profiler armed, print each workload's characterization plus the hint
+/// advisor's recommendations (with the reasoning behind each), and write
+/// the schema-versioned profiles to `results/profile.json`. This is the
+/// observe half of the self-tuning loop: the recommendations here should
+/// match the empirically fastest static configurations in
+/// `BENCH_pipeline.json` / `BENCH_pack.json`.
+fn profile_cmd(opts: &Opts) {
+    use lio_core::{File, Hints, SharedFile};
+    use lio_datatype::Datatype;
+    use lio_mpi::World;
+    use lio_obs::profile;
+    use lio_pfs::{CountingFile, MemFile, Throttle, ThrottledFile};
+    use std::time::Duration;
+
+    const PROFILE_SCHEMA_VERSION: u64 = 1;
+    let nblock: u64 = if opts.quick { 128 } else { 512 };
+    println!("# profile: access-pattern profiler + hint advisor, 3 workloads");
+
+    // consume the one-shot env checks, then drive recording explicitly
+    lio_obs::init_from_env();
+    profile::init_from_env();
+
+    // run `body` with the profiler armed; returns (profile, advice) JSON
+    let profiled = |name: &str, body: &mut dyn FnMut()| -> (String, String) {
+        lio_obs::reset();
+        lio_obs::set_enabled(true);
+        profile::reset();
+        profile::set_enabled(true);
+        body();
+        profile::set_enabled(false);
+        let p = profile::snapshot();
+        lio_obs::set_enabled(false);
+        let recs = profile::advise(&p);
+        println!("  {name}: {}", p.characterize());
+        for r in &recs {
+            println!("    -> {}  [{}: {}]", r.setting, r.rule, r.reason);
+        }
+        (p.to_json(), profile::recommendations_json(&recs))
+    };
+
+    let mut sections: Vec<(&str, (String, String))> = Vec::new();
+
+    // 1. Figure 5: independent access, 2 procs, 8 B blocks — the dense
+    // small-block regime where data sieving wins
+    sections.push((
+        "fig5_independent",
+        profiled("fig5_independent", &mut || {
+            let nprocs = 2usize;
+            let sblock = 8u64;
+            let total = 16 * nblock * sblock;
+            let shared = SharedFile::new(CountingFile::new(MemFile::new()));
+            World::run(nprocs, move |comm| {
+                let me = comm.rank() as u64;
+                let mut f = File::open(comm, shared.clone(), Hints::listless()).expect("open");
+                let ft = lio_noncontig::figure4_filetype(me, nprocs as u64, nblock, sblock);
+                f.set_view(0, Datatype::byte(), ft).expect("set_view");
+                let data = vec![me as u8 + 1; total as usize];
+                f.write_at(0, &data, total, &Datatype::byte())
+                    .expect("write");
+                let mut back = vec![0u8; total as usize];
+                f.read_at(0, &mut back, total, &Datatype::byte())
+                    .expect("read");
+                assert_eq!(back, data, "read-back mismatch");
+            });
+        }),
+    ));
+
+    // 2. Figure 6: collective access, 4 procs, slow storage, pipelining
+    // deliberately left off — the profile should reveal the io-bound
+    // phase breakdown and the advisor should recommend turning it on
+    sections.push((
+        "fig6_collective_throttled",
+        profiled("fig6_collective_throttled", &mut || {
+            let nprocs = 4usize;
+            let sblock = 64u64;
+            let total = 16 * nblock * sblock;
+            let slow = Throttle {
+                read_bw: 2e9,
+                write_bw: 2e9,
+                latency: Duration::from_millis(1),
+            };
+            let shared =
+                SharedFile::new(CountingFile::new(ThrottledFile::new(MemFile::new(), slow)));
+            let hints = Hints::listless().cb_buffer(4 << 10);
+            World::run(nprocs, move |comm| {
+                let me = comm.rank() as u64;
+                let mut f = File::open(comm, shared.clone(), hints).expect("open");
+                let ft = lio_noncontig::figure4_filetype(me, nprocs as u64, nblock, sblock);
+                f.set_view(0, Datatype::byte(), ft).expect("set_view");
+                let data = vec![me as u8 + 1; total as usize];
+                f.write_at_all(0, &data, total, &Datatype::byte())
+                    .expect("write");
+                let mut back = vec![0u8; total as usize];
+                f.read_at_all(0, &mut back, total, &Datatype::byte())
+                    .expect("read");
+                assert_eq!(back, data, "read-back mismatch");
+            });
+        }),
+    ));
+
+    // 3. BTIO-style nested memtype: vector-of-vector elements into a
+    // contiguous file region — pack-dominated, exercising the compiled
+    // run-program shape stats
+    let shard_n: u64 = if opts.quick { 512 } else { 2048 };
+    sections.push((
+        "btio_nested_pack",
+        profiled("btio_nested_pack", &mut || {
+            let nprocs = 4usize;
+            let shared = SharedFile::new(CountingFile::new(MemFile::new()));
+            World::run(nprocs, move |comm| {
+                let me = comm.rank() as u64;
+                let mut f = File::open(comm, shared.clone(), Hints::listless()).expect("open");
+                let inner = Datatype::vector(16, 1, 2, &Datatype::basic(64)).unwrap();
+                let mem = Datatype::vector(shard_n, 1, 2, &inner).unwrap();
+                let size = mem.size();
+                let span = mem.extent() as usize;
+                let src: Vec<u8> = (0..span)
+                    .map(|i| (i as u8).wrapping_add(me as u8))
+                    .collect();
+                f.set_view(0, Datatype::byte(), Datatype::byte())
+                    .expect("set_view");
+                f.write_at_all(me * size, &src, 1, &mem).expect("write");
+                let mut back = vec![0u8; span];
+                f.read_at_all(me * size, &mut back, 1, &mem).expect("read");
+            });
+        }),
+    ));
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"schema_version\": {PROFILE_SCHEMA_VERSION},").unwrap();
+    writeln!(json, "  \"commit\": \"{}\",", lio_bench::schema::commit()).unwrap();
+    json.push_str("  \"workloads\": {\n");
+    for (i, (name, (profile_json, recs_json))) in sections.iter().enumerate() {
+        let sep = if i + 1 < sections.len() { "," } else { "" };
+        writeln!(
+            json,
+            "  \"{name}\": {{\"profile\": {profile_json},\n  \"recommendations\": {recs_json}}}{sep}"
+        )
+        .unwrap();
+    }
+    json.push_str("  }\n}\n");
+    lio_obs::json::validate(&json).expect("profile export must be well-formed JSON");
+    fs::write("results/profile.json", &json).expect("write profile json");
+    println!("  -> results/profile.json");
 }
 
 /// `repro validate-json <file>`: the tiny well-formedness checker CI

@@ -119,6 +119,10 @@ impl<'c> File<'c> {
         if let Some(on) = hints.trace {
             lio_obs::trace::set_enabled(on);
         }
+        lio_obs::profile::init_from_env();
+        if let Some(on) = hints.profile {
+            lio_obs::profile::set_enabled(on);
+        }
         let view = FileView::bytes();
         let nav = Self::make_nav(view.clone(), hints.engine);
         let coll = twophase::establish_view(comm, &view, hints.engine)?;
@@ -145,6 +149,12 @@ impl<'c> File<'c> {
     pub fn set_view(&mut self, disp: u64, etype: Datatype, filetype: Datatype) -> Result<()> {
         let _span = OBS_SET_VIEW_NS.span();
         let view = FileView::new(disp, etype, filetype)?;
+        lio_obs::profile::record_view(
+            view.filetype.size(),
+            view.filetype.extent(),
+            view.filetype.leaf_runs(),
+            view.is_contiguous(),
+        );
         self.coll = twophase::establish_view(self.comm, &view, self.hints.engine)?;
         self.nav = Self::make_nav(view, self.hints.engine);
         self.fp = 0;
@@ -217,6 +227,7 @@ impl<'c> File<'c> {
     pub fn write_at(&self, offset: u64, buf: &[u8], count: u64, memtype: &Datatype) -> Result<u64> {
         let _span = OBS_WRITE_AT_NS.span();
         let (stream_start, total) = self.stream_params(offset, count, memtype);
+        lio_obs::profile::record_op(lio_obs::profile::OpClass::IndWrite, total);
         let packer = self.packer(memtype, count, buf.len())?;
         let _atomic_guard = self
             .atomic
@@ -246,6 +257,7 @@ impl<'c> File<'c> {
     ) -> Result<u64> {
         let _span = OBS_READ_AT_NS.span();
         let (stream_start, total) = self.stream_params(offset, count, memtype);
+        lio_obs::profile::record_op(lio_obs::profile::OpClass::IndRead, total);
         let packer = self.packer(memtype, count, buf.len())?;
         let _atomic_guard = self
             .atomic
@@ -286,6 +298,7 @@ impl<'c> File<'c> {
     ) -> Result<u64> {
         let _span = OBS_WRITE_ALL_NS.span();
         let (stream_start, total) = self.stream_params(offset, count, memtype);
+        lio_obs::profile::record_op(lio_obs::profile::OpClass::CollWrite, total);
         let packer = self.packer(memtype, count, buf.len())?;
         twophase::write_at_all(
             self.shared.storage.as_ref(),
@@ -310,6 +323,7 @@ impl<'c> File<'c> {
     ) -> Result<u64> {
         let _span = OBS_READ_ALL_NS.span();
         let (stream_start, total) = self.stream_params(offset, count, memtype);
+        lio_obs::profile::record_op(lio_obs::profile::OpClass::CollRead, total);
         let packer = self.packer(memtype, count, buf.len())?;
         twophase::read_at_all(
             self.shared.storage.as_ref(),

@@ -115,6 +115,11 @@ pub struct Hints {
     /// process-global setting (and the `LIO_TRACE` environment variable)
     /// in charge.
     pub trace: Option<bool>,
+    /// Access-pattern profiling: `Some(on)` forces the `lio-profile`
+    /// recorder on or off when a file is opened with these hints; `None`
+    /// leaves the process-global setting (and the `LIO_PROFILE`
+    /// environment variable) in charge.
+    pub profile: Option<bool>,
 }
 
 impl Hints {
@@ -132,6 +137,7 @@ impl Hints {
             pack_threads: 1,
             obs: None,
             trace: None,
+            profile: None,
         }
     }
 
@@ -183,6 +189,15 @@ impl Hints {
     /// variable.
     pub fn tracing(mut self, on: bool) -> Hints {
         self.trace = Some(on);
+        self
+    }
+
+    /// Force `lio-profile` access-pattern recording on or off at open
+    /// time (builder style). The default (`None`) defers to
+    /// `lio_obs::profile::set_enabled` / the `LIO_PROFILE` environment
+    /// variable.
+    pub fn profiling(mut self, on: bool) -> Hints {
+        self.profile = Some(on);
         self
     }
 
@@ -410,6 +425,13 @@ impl Hints {
                         _ => return Err(HintError::new(k, v, "expected enable or disable")),
                     }
                 }
+                "lio_profile" => {
+                    self.profile = match v {
+                        "enable" | "true" | "1" => Some(true),
+                        "disable" | "false" | "0" => Some(false),
+                        _ => return Err(HintError::new(k, v, "expected enable or disable")),
+                    }
+                }
                 _ => {} // unknown keys are ignored, like MPI_Info
             }
         }
@@ -480,6 +502,12 @@ impl Hints {
         if let Some(on) = self.trace {
             pairs.push((
                 "lio_trace".to_string(),
+                if on { "enable" } else { "disable" }.to_string(),
+            ));
+        }
+        if let Some(on) = self.profile {
+            pairs.push((
+                "lio_profile".to_string(),
                 if on { "enable" } else { "disable" }.to_string(),
             ));
         }
@@ -582,6 +610,29 @@ mod info_tests {
             .apply_info(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
             .unwrap();
         assert_eq!(back.trace, Some(true));
+    }
+
+    #[test]
+    fn profile_info_key() {
+        let h = Hints::default()
+            .apply_info([("lio_profile", "enable")])
+            .unwrap();
+        assert_eq!(h.profile, Some(true));
+        let h = Hints::default().apply_info([("lio_profile", "0")]).unwrap();
+        assert_eq!(h.profile, Some(false));
+        assert!(Hints::default()
+            .apply_info([("lio_profile", "maybe")])
+            .is_err());
+        // absent by default, emitted (and round-tripped) only when forced
+        assert!(Hints::default()
+            .to_info()
+            .iter()
+            .all(|(k, _)| k != "lio_profile"));
+        let pairs = Hints::default().profiling(true).to_info();
+        let back = Hints::list_based()
+            .apply_info(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+            .unwrap();
+        assert_eq!(back.profile, Some(true));
     }
 
     #[test]

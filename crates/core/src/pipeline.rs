@@ -845,6 +845,7 @@ impl<'a> IopWrite<'a> {
         let len = (plan.io_hi - plan.io_lo) as usize;
         let navs = self.planner.navs;
         let _w = lio_obs::trace::span_ab("win", seq, plan.io_lo);
+        lio_obs::profile::record_pipeline_window(len as u64);
         let t = lio_obs::now();
         let sp = lio_obs::trace::span_ab("pack.place", plan.io_lo, 0);
         for (p, &take) in plan.takes.iter().enumerate() {
@@ -1183,6 +1184,7 @@ pub(crate) fn read_at_all(
                     let len = (plan.io_hi - plan.io_lo) as usize;
                     let navs = planner.navs;
                     let _w = lio_obs::trace::span_ab("win", plan.io_lo, plan.io_hi - plan.io_lo);
+                    lio_obs::profile::record_pipeline_window(len as u64);
                     let t = lio_obs::now();
                     let sp = lio_obs::trace::span_ab("pack.place", plan.io_lo, 0);
                     for (p, &take) in plan.takes.iter().enumerate() {

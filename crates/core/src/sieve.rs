@@ -51,6 +51,7 @@ pub(crate) fn write_independent(
     // c-c / nc-c: the file region is contiguous — one pack, one write.
     if nav.view().is_contiguous() {
         let abs = nav.stream_to_abs(stream_start);
+        lio_obs::profile::record_run(total, 0, true);
         return write_contiguous_region(storage, packer, user, abs, total);
     }
 
@@ -145,6 +146,7 @@ fn write_direct(
     // We reuse place_into_window machinery by treating each run as its own
     // window via stream arithmetic.
     let mut stream = stream_start;
+    let mut prev_end = u64::MAX;
     while done < total {
         let abs = nav.stream_to_abs(stream);
         // the run containing `stream` extends to the next gap; bound it by
@@ -154,6 +156,15 @@ fn write_direct(
         // until the gap; we simply extract up to `remaining` bytes but cap
         // at the run boundary by asking for the contiguous span
         let run_len = contiguous_span(nav, abs, remaining);
+        if lio_obs::profile::enabled() {
+            let gap = if prev_end == u64::MAX {
+                0
+            } else {
+                abs - prev_end
+            };
+            lio_obs::profile::record_run(run_len, gap, abs == prev_end);
+            prev_end = abs + run_len;
+        }
         chunk.resize(run_len as usize, 0);
         let got = packer.pack(user, done, &mut chunk);
         debug_assert_eq!(got as u64, run_len);
@@ -259,6 +270,7 @@ pub(crate) fn read_independent(
 
     if nav.view().is_contiguous() {
         let abs = nav.stream_to_abs(stream_start);
+        lio_obs::profile::record_run(total, 0, true);
         const CHUNK: usize = 4 << 20;
         let mut buf = vec![0u8; CHUNK.min(total as usize)];
         let mut done = 0u64;
@@ -277,9 +289,19 @@ pub(crate) fn read_independent(
             let mut stream = stream_start;
             let mut done = 0u64;
             let mut chunk = Vec::new();
+            let mut prev_end = u64::MAX;
             while done < total {
                 let abs = nav.stream_to_abs(stream);
                 let run_len = contiguous_span(nav, abs, total - done);
+                if lio_obs::profile::enabled() {
+                    let gap = if prev_end == u64::MAX {
+                        0
+                    } else {
+                        abs - prev_end
+                    };
+                    lio_obs::profile::record_run(run_len, gap, abs == prev_end);
+                    prev_end = abs + run_len;
+                }
                 chunk.resize(run_len as usize, 0);
                 read_window(storage, abs, &mut chunk)?;
                 let put = packer.unpack(&chunk, user, done);

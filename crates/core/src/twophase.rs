@@ -220,7 +220,48 @@ pub(crate) fn file_domains(comm: &Comm, range: Option<(u64, u64)>, hints: &Hints
             *d = (a, b);
         }
     }
+    // Every rank sees the same allgathered ranges; rank 0 records the
+    // collective's domain geometry once per op so the profile is not
+    // multiplied by the communicator size.
+    if lio_obs::profile::enabled() && comm.rank() == 0 {
+        profile_domains(&ranges, min_st, max_end);
+    }
     (domains, ranges)
+}
+
+/// Profile the file-domain geometry of one collective op: overall span,
+/// union coverage of the per-rank access envelopes, and how much those
+/// envelopes overlap each other (interleaved views overlap heavily; the
+/// paper's Figure 4 pattern is the extreme case).
+fn profile_domains(ranges: &[Option<(u64, u64)>], min_st: Option<u64>, max_end: Option<u64>) {
+    let (Some(lo), Some(hi)) = (min_st, max_end) else {
+        return;
+    };
+    let mut sorted: Vec<(u64, u64)> = ranges.iter().flatten().copied().collect();
+    sorted.sort_unstable();
+    let mut union = 0u64;
+    let mut sum = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for &(a, b) in &sorted {
+        sum += b - a;
+        cur = Some(match cur {
+            Some((cs, ce)) if a <= ce => (cs, ce.max(b)),
+            Some((cs, ce)) => {
+                union += ce - cs;
+                (a, b)
+            }
+            None => (a, b),
+        });
+    }
+    if let Some((cs, ce)) = cur {
+        union += ce - cs;
+    }
+    lio_obs::profile::record_domains(hi - lo, union, sum - union);
+    for (r, span) in ranges.iter().enumerate() {
+        if let Some((a, b)) = span {
+            lio_obs::profile::record_rank_access(r as u32, b - a);
+        }
+    }
 }
 
 /// The intersection of this rank's stream interval with an IOP domain,

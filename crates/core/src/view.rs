@@ -177,6 +177,8 @@ pub(crate) fn place_runs(
 ) -> usize {
     let win_end = win_start + filebuf.len() as u64;
     let mut consumed = 0usize;
+    let profiling = lio_obs::profile::enabled();
+    let mut prev_end = u64::MAX;
     for run in runs {
         if consumed >= data.len() {
             break;
@@ -192,6 +194,15 @@ pub(crate) fn place_runs(
         let o = (abs - win_start) as usize;
         filebuf[o..o + take].copy_from_slice(&data[consumed..consumed + take]);
         consumed += take;
+        if profiling {
+            let gap = if prev_end == u64::MAX {
+                0
+            } else {
+                abs - prev_end
+            };
+            lio_obs::profile::record_run(take as u64, gap, abs == prev_end);
+            prev_end = abs + take as u64;
+        }
         if take < run.len as usize {
             break; // window or data exhausted mid-run
         }
@@ -208,6 +219,8 @@ pub(crate) fn extract_runs(
 ) -> usize {
     let win_end = win_start + filebuf.len() as u64;
     let mut produced = 0usize;
+    let profiling = lio_obs::profile::enabled();
+    let mut prev_end = u64::MAX;
     for run in runs {
         if produced >= out.len() {
             break;
@@ -223,6 +236,15 @@ pub(crate) fn extract_runs(
         let o = (abs - win_start) as usize;
         out[produced..produced + take].copy_from_slice(&filebuf[o..o + take]);
         produced += take;
+        if profiling {
+            let gap = if prev_end == u64::MAX {
+                0
+            } else {
+                abs - prev_end
+            };
+            lio_obs::profile::record_run(take as u64, gap, abs == prev_end);
+            prev_end = abs + take as u64;
+        }
         if take < run.len as usize {
             break;
         }
@@ -360,7 +382,7 @@ impl FfNav {
     ) -> usize {
         if let Some(spec) = &self.strided {
             let buf_disp = win_start as i64 - self.view.disp as i64;
-            return strided_unpack(
+            let n = strided_unpack(
                 &spec.clone(),
                 self.view.filetype.extent(),
                 filebuf,
@@ -369,6 +391,18 @@ impl FfNav {
                 stream0,
                 data,
             );
+            // the fast path never materializes runs, so account for the
+            // regular pattern as a batch (a dense spec is one big run)
+            if spec.stride.unsigned_abs() == spec.block {
+                lio_obs::profile::record_run(n as u64, 0, true);
+            } else {
+                lio_obs::profile::record_strided(
+                    spec.block,
+                    spec.stride.unsigned_abs(),
+                    (n as u64).div_ceil(spec.block.max(1)),
+                );
+            }
+            return n;
         }
         let needed = stream0 + data.len() as u64;
         let runs = self.runs_from(stream0, needed);
@@ -385,7 +419,7 @@ impl FfNav {
     ) -> usize {
         if let Some(spec) = &self.strided {
             let buf_disp = win_start as i64 - self.view.disp as i64;
-            return strided_pack(
+            let n = strided_pack(
                 &spec.clone(),
                 self.view.filetype.extent(),
                 filebuf,
@@ -394,6 +428,16 @@ impl FfNav {
                 stream0,
                 out,
             );
+            if spec.stride.unsigned_abs() == spec.block {
+                lio_obs::profile::record_run(n as u64, 0, true);
+            } else {
+                lio_obs::profile::record_strided(
+                    spec.block,
+                    spec.stride.unsigned_abs(),
+                    (n as u64).div_ceil(spec.block.max(1)),
+                );
+            }
+            return n;
         }
         let needed = stream0 + out.len() as u64;
         let runs = self.runs_from(stream0, needed);

@@ -172,6 +172,10 @@ fn ring_wraparound_drops_oldest_first() {
         let tl = trace::merge(&streams);
         assert_eq!(tl.dropped, pushed - 64);
         lio_obs::json::validate(&trace::to_chrome_json(&tl)).expect("wrapped export parses");
+        // a truncated trace must announce itself in the report footer
+        let report = trace::render_report(&trace::critical_path(&tl), &tl);
+        assert!(report.contains("dropped=136"), "{report}");
+        assert!(report.contains("WARNING"), "{report}");
     });
 }
 
@@ -202,7 +206,7 @@ fn critical_path_names_a_bounding_phase() {
             let phase_total = r.exchange_ns + r.io_ns + r.pack_ns;
             assert!(phase_total > 0, "op {} attributed no phase time", r.index);
         }
-        let table = trace::render_report(&reports);
+        let table = trace::render_report(&reports, &tl);
         assert!(table.contains("coll.write"), "report table lacks the op");
         for r in &reports {
             assert!(
@@ -210,5 +214,14 @@ fn critical_path_names_a_bounding_phase() {
                 "report table lacks the bounding phase"
             );
         }
+        // the health footer must always state the truncation counters
+        assert!(
+            table.contains("trace health: dropped=0"),
+            "report lacks the trace-health footer: {table}"
+        );
+        assert!(
+            !table.contains("WARNING"),
+            "clean trace must not warn: {table}"
+        );
     });
 }

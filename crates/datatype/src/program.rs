@@ -106,6 +106,14 @@ impl Datatype {
                 let p = RunProgram::compile(self);
                 OBS_COMPILE_PROGRAMS.incr();
                 OBS_COMPILE_FRAMES.add(p.frames as u64);
+                if lio_obs::profile::enabled() {
+                    let (loops, tails, mn, mx) =
+                        p.root.as_ref().map_or((0, 0, u64::MAX, 0), shape_of);
+                    // a single Blocks frame is the fully normalized form:
+                    // one strided memcpy loop, no interpreter recursion
+                    let normalized = p.frames == 1 && matches!(p.root, Some(PNode::Blocks { .. }));
+                    lio_obs::profile::record_program(p.frames, loops, tails, mn, mx, normalized);
+                }
                 Arc::new(p)
             })
             .as_ref()
@@ -397,6 +405,26 @@ fn count_frames(node: &PNode) -> u32 {
         PNode::Blocks { .. } => 1,
         PNode::Loop { body, .. } => 1 + count_frames(body),
         PNode::Tail { parts, .. } => 1 + parts.iter().map(|p| count_frames(&p.node)).sum::<u32>(),
+    }
+}
+
+/// `(loop_frames, tail_frames, min_block, max_block)` over the tree;
+/// `min_block` is `u64::MAX` when no Blocks frame exists.
+fn shape_of(node: &PNode) -> (u32, u32, u64, u64) {
+    match node {
+        PNode::Blocks { block, .. } => (0, 0, *block, *block),
+        PNode::Loop { body, .. } => {
+            let (l, t, mn, mx) = shape_of(body);
+            (l + 1, t, mn, mx)
+        }
+        PNode::Tail { parts, .. } => {
+            let mut acc = (0u32, 1u32, u64::MAX, 0u64);
+            for p in parts.iter() {
+                let (l, t, mn, mx) = shape_of(&p.node);
+                acc = (acc.0 + l, acc.1 + t, acc.2.min(mn), acc.3.max(mx));
+            }
+            acc
+        }
     }
 }
 

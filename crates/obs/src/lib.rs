@@ -29,6 +29,7 @@
 //! uses to check emitted artifacts.
 
 pub mod json;
+pub mod profile;
 #[cfg(feature = "trace")]
 pub mod trace;
 #[cfg(not(feature = "trace"))]
@@ -500,6 +501,46 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the log2 bucket holding the target rank. Exact for
+    /// single-value buckets; within a factor of two otherwise — the same
+    /// resolution the buckets themselves offer. Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for &(lo, hi, c) in &self.buckets {
+            let next = cum + c;
+            if (next as f64) >= target {
+                let frac = (target - cum as f64) / c as f64;
+                let est = lo as f64 + frac * (hi.saturating_sub(lo)) as f64;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            cum = next;
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Self::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`Self::quantile`]).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`Self::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
 /// Point-in-time copy of every registered metric, sorted by name.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Snapshot {
@@ -583,8 +624,15 @@ impl Snapshot {
         out.push_str("},\n  \"histograms\": {");
         write_map(&mut out, &self.histograms, |out, h| {
             out.push_str(&format!(
-                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
-                h.count, h.sum, h.min, h.max
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50(),
+                h.p95(),
+                h.p99()
             ));
             for (i, (lo, hi, c)) in h.buckets.iter().enumerate() {
                 if i > 0 {
@@ -663,6 +711,38 @@ mod tests {
                 assert_eq!(bucket_index(hi + 1), i + 1);
             }
         }
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        with_enabled(|| {
+            static H: LazyHistogram = LazyHistogram::new("test.hist.quant");
+            for _ in 0..90 {
+                H.record(100);
+            }
+            for _ in 0..10 {
+                H.record(1 << 20);
+            }
+            let snap = snapshot();
+            let h = snap.histogram("test.hist.quant").unwrap();
+            // 90% of mass at 100: the median interpolates inside the
+            // 64..127 bucket and clamps up to the observed min
+            assert_eq!(h.p50(), 100);
+            // the tail bucket holds the top 10%: p95/p99 land there and
+            // clamp down to the observed max
+            assert_eq!(h.p95(), 1 << 20);
+            assert_eq!(h.p99(), 1 << 20);
+            let empty = HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                buckets: Vec::new(),
+            };
+            assert_eq!(empty.quantile(0.5), 0);
+            let json = snap.to_json();
+            assert!(json.contains("\"p50\""), "quantiles missing from JSON");
+        });
     }
 
     #[test]

@@ -819,7 +819,7 @@ pub fn critical_path(t: &Timeline) -> Vec<OpReport> {
 }
 
 /// Render [`critical_path`] output as a human-readable table.
-pub fn render_report(reports: &[OpReport]) -> String {
+pub fn render_report(reports: &[OpReport], tl: &Timeline) -> String {
     let mut out = String::new();
     out.push_str("critical path (slowest rank per collective op):\n");
     out.push_str(&format!(
@@ -841,6 +841,16 @@ pub fn render_report(reports: &[OpReport]) -> String {
     }
     if reports.is_empty() {
         out.push_str("  (no collective root spans in trace)\n");
+    }
+    out.push_str(&format!(
+        "trace health: dropped={} unmatched_sends={} unmatched_recvs={} causal_violations={}\n",
+        tl.dropped, tl.unmatched_sends, tl.unmatched_recvs, tl.causal_violations
+    ));
+    if tl.dropped > 0 || tl.unmatched_sends > 0 || tl.unmatched_recvs > 0 {
+        out.push_str(
+            "  WARNING: trace is truncated or has unmatched messages — \
+             phase attributions above may be incomplete\n",
+        );
     }
     out
 }

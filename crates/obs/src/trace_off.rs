@@ -174,7 +174,7 @@ pub fn critical_path(_t: &Timeline) -> Vec<OpReport> {
     Vec::new()
 }
 
-pub fn render_report(_reports: &[OpReport]) -> String {
+pub fn render_report(_reports: &[OpReport], _tl: &Timeline) -> String {
     "critical path: tracing compiled out (lio-obs feature \"trace\")\n".to_string()
 }
 
