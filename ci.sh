@@ -34,6 +34,16 @@ for pt in 1 4; do
   LIO_PACK_THREADS=$pt cargo test -q -p lio-core --test collective --test pipeline --test faults
 done
 
+# The suites again with the pack-kernel mode forced both ways: every
+# kernel family must be bit-identical to the scalar reference loop, so
+# the same differential cases must pass with the kernels disabled and
+# with the best CPU-supported family engaged.
+for pk in scalar auto; do
+  echo "== collective/pipeline/faults/datatype suites under LIO_PACK_KERNEL=$pk"
+  LIO_PACK_KERNEL=$pk cargo test -q -p lio-core --test collective --test pipeline --test faults
+  LIO_PACK_KERNEL=$pk cargo test -q -p lio-datatype
+done
+
 # Event tracing: the collective + pipeline suites once more with the
 # recorder armed (catches trace-enabled-only panics), plus the dedicated
 # trace-correctness tests (span pairing, causal merge, ring wraparound,
@@ -57,6 +67,10 @@ echo "== repro profile + validate-json"
 ./target/release/repro profile --quick | tee /tmp/lio_profile_out.txt
 grep -q "engine=listless" /tmp/lio_profile_out.txt
 grep -q "two_phase_pipeline=enable" /tmp/lio_profile_out.txt
+grep -q "pack_kernel=auto" /tmp/lio_profile_out.txt
+# the ragged workload's programs must be attributed to the
+# normalization pass, not reported as born strided
+grep -Eq "ragged_hindexed_pack:.*[1-9][0-9]* rewritten" /tmp/lio_profile_out.txt
 ./target/release/repro validate-json results/profile.json
 
 # Compiled-program overhead gate: on a flat-contiguous type the run
@@ -64,6 +78,12 @@ grep -q "two_phase_pipeline=enable" /tmp/lio_profile_out.txt
 # on a sustained violation).
 echo "== pack_overhead gate"
 LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench pack_overhead
+
+# Kernel overhead gate: on a flat-contiguous type (one huge block — the
+# fixed-block kernels must not engage) auto mode must stay within 2% of
+# a forced-scalar run.
+echo "== kernel_overhead gate"
+LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench kernel_overhead
 
 # Trace overhead: same noise-floor structure as obs_overhead — with
 # tracing disabled the hooks must be within run-to-run noise.
@@ -84,6 +104,13 @@ if git show HEAD:BENCH_pipeline.json > /tmp/lio_bench_baseline.json 2>/dev/null;
   ./target/release/repro bench-compare /tmp/lio_bench_baseline.json BENCH_pipeline.json
 else
   echo "  (no committed BENCH_pipeline.json baseline yet — skipping)"
+fi
+if git show HEAD:BENCH_pack.json > /tmp/lio_pack_baseline.json 2>/dev/null \
+    && grep -q pack_kernels /tmp/lio_pack_baseline.json; then
+  LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench pack
+  ./target/release/repro bench-compare /tmp/lio_pack_baseline.json BENCH_pack.json
+else
+  echo "  (no committed BENCH_pack.json with pack_kernels columns yet — skipping)"
 fi
 if git show HEAD:BENCH_metrics.json > /tmp/lio_metrics_baseline.json 2>/dev/null \
     && grep -q schema_version /tmp/lio_metrics_baseline.json; then

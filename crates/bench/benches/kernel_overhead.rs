@@ -1,0 +1,55 @@
+//! CI gate: the pack kernels must not tax shapes they cannot help.
+//!
+//! On a *flat contiguous* type the compiled program is a single huge
+//! `Blocks` frame whose block size sits far above the fixed-kernel
+//! classes, so `Sel::select` records "not eligible" at compile time and
+//! the interpreter must take the plain memcpy path untouched. Whatever
+//! the kernel layer adds (the per-call mode load, the per-frame
+//! eligibility check) must stay within 2% of a forced-scalar run.
+//! Exits non-zero on a sustained violation so `ci.sh` can gate on it.
+
+use lio_bench::harness::Group;
+use lio_datatype::kernels::{self, Mode};
+use lio_datatype::Datatype;
+use std::hint::black_box;
+
+const TOLERANCE: f64 = 1.02;
+const ATTEMPTS: usize = 5;
+
+fn main() {
+    // one contiguous 4 MiB run: the degenerate flat case the kernels
+    // must not engage on
+    let d = Datatype::contiguous(4 << 20, &Datatype::byte()).unwrap();
+    let src = vec![0x7Eu8; d.extent() as usize];
+    let total = d.size() as usize;
+    let mut out = vec![0u8; total];
+    let prog = d.program();
+
+    let mut g = Group::new("kernel_overhead");
+    g.sample_size(20);
+    g.throughput_bytes(total as u64);
+
+    let mut worst = f64::INFINITY;
+    for attempt in 1..=ATTEMPTS {
+        kernels::force(Mode::Scalar);
+        let scalar = g.bench(format!("scalar/attempt{attempt}"), || {
+            prog.pack_into(black_box(&src), 0, 1, 0, black_box(&mut out));
+        });
+        kernels::force(Mode::Auto);
+        let auto = g.bench(format!("auto/attempt{attempt}"), || {
+            prog.pack_into(black_box(&src), 0, 1, 0, black_box(&mut out));
+        });
+        let ratio = auto.min_ns / scalar.min_ns;
+        worst = worst.min(ratio);
+        println!("kernel_overhead: auto/scalar min-ratio {ratio:.4} (attempt {attempt})");
+        if ratio <= TOLERANCE {
+            println!("kernel_overhead: PASS ({ratio:.4} <= {TOLERANCE})");
+            return;
+        }
+    }
+    eprintln!(
+        "kernel_overhead: FAIL — auto kernel mode {worst:.4}x the forced-scalar pack on a \
+         flat-contiguous type across {ATTEMPTS} attempts (gate {TOLERANCE})"
+    );
+    std::process::exit(1);
+}

@@ -840,6 +840,17 @@ fn metrics(opts: &Opts) {
                 snap.counter("dt.pack.shard.shards"),
                 snap.counter("dt.pack.shard.skipped"),
             );
+            println!(
+                "  {key}: normalize {} rewrites ({} -> {} frames); kernels: {} frames \
+                 selected, {} blocks / {} B copied, {} fallbacks",
+                snap.counter("dt.normalize.rewrites"),
+                snap.counter("dt.normalize.frames_before"),
+                snap.counter("dt.normalize.frames_after"),
+                snap.counter("dt.kernel.selected"),
+                snap.counter("dt.kernel.blocks"),
+                snap.counter("dt.kernel.bytes"),
+                snap.counter("dt.kernel.fallbacks"),
+            );
         }
         if *throttled {
             println!(
@@ -1114,6 +1125,38 @@ fn profile_cmd(opts: &Opts) {
                 let mut f = File::open(comm, shared.clone(), Hints::listless()).expect("open");
                 let inner = Datatype::vector(16, 1, 2, &Datatype::basic(64)).unwrap();
                 let mem = Datatype::vector(shard_n, 1, 2, &inner).unwrap();
+                let size = mem.size();
+                let span = mem.extent() as usize;
+                let src: Vec<u8> = (0..span)
+                    .map(|i| (i as u8).wrapping_add(me as u8))
+                    .collect();
+                f.set_view(0, Datatype::byte(), Datatype::byte())
+                    .expect("set_view");
+                f.write_at_all(me * size, &src, 1, &mem).expect("write");
+                let mut back = vec![0u8; span];
+                f.read_at_all(me * size, &mut back, 1, &mem).expect("read");
+            });
+        }),
+    ));
+
+    // 4. the same nested pack built raggedly (hindexed rows instead of
+    // an outer vector): the raw compile is a literal tail and only the
+    // normalization pass recovers the strided form — the profile must
+    // report these programs as "rewritten", not "born strided"
+    sections.push((
+        "ragged_hindexed_pack",
+        profiled("ragged_hindexed_pack", &mut || {
+            let nprocs = 2usize;
+            let rows: u64 = if opts.quick { 256 } else { 1024 };
+            let shared = SharedFile::new(CountingFile::new(MemFile::new()));
+            World::run(nprocs, move |comm| {
+                let me = comm.rank() as u64;
+                let mut f = File::open(comm, shared.clone(), Hints::listless()).expect("open");
+                let row = Datatype::vector(16, 1, 2, &Datatype::basic(64)).unwrap();
+                let step = 2 * row.extent() as i64;
+                let lens = vec![1u64; rows as usize];
+                let disps: Vec<i64> = (0..rows as i64).map(|i| i * step).collect();
+                let mem = Datatype::hindexed(&lens, &disps, &row).unwrap();
                 let size = mem.size();
                 let span = mem.extent() as usize;
                 let src: Vec<u8> = (0..span)

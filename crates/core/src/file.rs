@@ -123,6 +123,9 @@ impl<'c> File<'c> {
         if let Some(on) = hints.profile {
             lio_obs::profile::set_enabled(on);
         }
+        if let Some(mode) = hints.effective_pack_kernel() {
+            lio_datatype::kernels::force(mode);
+        }
         let view = FileView::bytes();
         let nav = Self::make_nav(view.clone(), hints.engine);
         let coll = twophase::establish_view(comm, &view, hints.engine)?;

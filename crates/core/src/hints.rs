@@ -1,5 +1,10 @@
 //! Tuning hints, modelled on ROMIO's `MPI_Info` keys.
 
+/// Pack-kernel family selector, re-exported from
+/// [`lio_datatype::kernels::Mode`] so hint-level callers need not depend
+/// on the datatype crate directly.
+pub use lio_datatype::kernels::Mode as PackKernel;
+
 /// Which datatype-handling engine a file uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
@@ -106,6 +111,15 @@ pub struct Hints {
     /// environment variable overrides this hint (see
     /// [`Hints::effective_pack_threads`]).
     pub pack_threads: usize,
+    /// Pack-kernel family for the compiled run-program interpreter:
+    /// `Some(mode)` forces the process-global kernel mode at open time
+    /// (`auto` picks the best family the CPU supports per frame; `scalar`
+    /// disables the fixed-block kernels; `fixed`/`sse2`/`avx2` force one
+    /// family, degrading to what the CPU supports). `None` (the default)
+    /// leaves the process-global setting (and the `LIO_PACK_KERNEL`
+    /// environment variable) in charge. See
+    /// [`Hints::effective_pack_kernel`].
+    pub pack_kernel: Option<PackKernel>,
     /// Observability: `Some(on)` forces `lio-obs` recording on or off when
     /// a file is opened with these hints; `None` leaves the process-global
     /// setting (and the `LIO_OBS` environment variable) in charge.
@@ -135,6 +149,7 @@ impl Hints {
             two_phase_pipeline: false,
             pipeline_depth: 2,
             pack_threads: 1,
+            pack_kernel: None,
             obs: None,
             trace: None,
             profile: None,
@@ -218,6 +233,27 @@ impl Hints {
     pub fn pack_threads(mut self, threads: usize) -> Hints {
         self.pack_threads = threads;
         self
+    }
+
+    /// Force the pack-kernel family at open time (builder style). The
+    /// default (`None`) defers to the process-global mode and the
+    /// `LIO_PACK_KERNEL` environment variable.
+    pub fn pack_kernel(mut self, mode: PackKernel) -> Hints {
+        self.pack_kernel = Some(mode);
+        self
+    }
+
+    /// The pack-kernel mode this open should install, honoring the
+    /// `LIO_PACK_KERNEL` environment override (`auto`, `scalar`, `fixed`,
+    /// `sse2`, `avx2`; anything unparseable or unset defers to the
+    /// `pack_kernel` hint). Returns `None` when neither the environment
+    /// nor the hint asks for anything — the process-global default
+    /// (`auto`) stays in charge.
+    pub fn effective_pack_kernel(&self) -> Option<PackKernel> {
+        match std::env::var("LIO_PACK_KERNEL") {
+            Ok(v) => PackKernel::parse(&v).or(self.pack_kernel),
+            Err(_) => self.pack_kernel,
+        }
     }
 
     /// The worker-thread budget for sharded pack/unpack, honoring the
@@ -330,7 +366,9 @@ impl Hints {
     /// sieve/direct/auto), `detect_dense_writes` (`true`/`false`),
     /// `two_phase_pipeline` (`enable`/`disable`), `pipeline_depth`
     /// (windows in flight, ≥ 1), `pack_threads` (sharded pack/unpack
-    /// workers; 0 = auto), `lio_obs` (`enable`/`disable` — force
+    /// workers; 0 = auto), `pack_kernel` (`auto`/`scalar`/`fixed`/
+    /// `sse2`/`avx2` — pack-kernel family for compiled run programs),
+    /// `lio_obs` (`enable`/`disable` — force
     /// metrics recording at open), `lio_trace` (`enable`/`disable` —
     /// force event tracing at open).
     ///
@@ -410,6 +448,11 @@ impl Hints {
                     self.pack_threads = v
                         .parse::<usize>()
                         .map_err(|_| HintError::new(k, v, "expected a thread count (0 = auto)"))?;
+                }
+                "pack_kernel" => {
+                    self.pack_kernel = Some(PackKernel::parse(v).ok_or_else(|| {
+                        HintError::new(k, v, "expected auto, scalar, fixed, sse2, or avx2")
+                    })?);
                 }
                 "lio_obs" => {
                     self.obs = match v {
@@ -493,6 +536,9 @@ impl Hints {
             ),
             ("pack_threads".to_string(), self.pack_threads.to_string()),
         ];
+        if let Some(mode) = self.pack_kernel {
+            pairs.push(("pack_kernel".to_string(), mode.name().to_string()));
+        }
         if let Some(on) = self.obs {
             pairs.push((
                 "lio_obs".to_string(),
@@ -587,6 +633,46 @@ mod info_tests {
             .apply_info(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
             .unwrap();
         assert_eq!(back.pack_threads, 3);
+    }
+
+    #[test]
+    fn pack_kernel_info_key() {
+        assert_eq!(Hints::default().pack_kernel, None);
+        let h = Hints::default()
+            .apply_info([("pack_kernel", "scalar")])
+            .unwrap();
+        assert_eq!(h.pack_kernel, Some(PackKernel::Scalar));
+        let h = Hints::default()
+            .apply_info([("pack_kernel", "avx2")])
+            .unwrap();
+        assert_eq!(h.pack_kernel, Some(PackKernel::Avx2));
+        assert!(Hints::default()
+            .apply_info([("pack_kernel", "warp9")])
+            .is_err());
+        // absent by default, emitted (and round-tripped) only when set
+        assert!(Hints::default()
+            .to_info()
+            .iter()
+            .all(|(k, _)| k != "pack_kernel"));
+        let pairs = Hints::default().pack_kernel(PackKernel::Fixed).to_info();
+        let back = Hints::list_based()
+            .apply_info(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+            .unwrap();
+        assert_eq!(back.pack_kernel, Some(PackKernel::Fixed));
+    }
+
+    #[test]
+    fn pack_kernel_env_defers_to_hint() {
+        if std::env::var("LIO_PACK_KERNEL").is_ok() {
+            return; // the env override legitimately wins
+        }
+        assert_eq!(Hints::default().effective_pack_kernel(), None);
+        assert_eq!(
+            Hints::default()
+                .pack_kernel(PackKernel::Sse2)
+                .effective_pack_kernel(),
+            Some(PackKernel::Sse2)
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod darray;
 pub mod ff;
 pub mod flatten;
 pub mod iter;
+pub mod kernels;
 pub mod program;
 pub mod serialize;
 pub mod strided;

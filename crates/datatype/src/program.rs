@@ -9,19 +9,34 @@
 //! run tails for irregular shapes — and interprets that program with
 //! tight block-copy loops and no per-run tree re-descent.
 //!
-//! Normalization happens at compile time:
+//! Normalization happens at compile time, in two stages:
 //!
-//! * any subtree that reduces to the canonical strided form becomes a
-//!   single [`PNode::Blocks`] frame (this subsumes contiguous children,
-//!   unit-count wrappers, dense vectors, and evenly spaced indexed
-//!   blocks — the same folding as [`Datatype::as_strided`], applied at
-//!   *every* level, not just the root);
-//! * regular repetition that cannot fold becomes a [`PNode::Loop`] frame
-//!   storing the body's data size so a `skipbytes` entry point divides
-//!   instead of iterating;
-//! * irregular displacement lists (ragged hindexed, multi-field structs)
+//! * **construction folding** — any subtree that reduces to the canonical
+//!   strided form becomes a single [`PNode::Blocks`] frame (this subsumes
+//!   contiguous children, unit-count wrappers, dense vectors, and evenly
+//!   spaced indexed blocks — the same folding as [`Datatype::as_strided`],
+//!   applied at *every* level, not just the root); regular repetition that
+//!   cannot fold becomes a [`PNode::Loop`] frame storing the body's data
+//!   size so a `skipbytes` entry point divides instead of iterating;
+//!   irregular displacement lists (ragged hindexed, multi-field structs)
 //!   become a [`PNode::Tail`] with a size-prefix table, entered by binary
-//!   search.
+//!   search;
+//! * **a normalization pass** ([`normalize`]) that rewrites the raw tree
+//!   into canonical strided form wherever the type map permits: it merges
+//!   adjacent blocks whose spacing equals the block size, hoists
+//!   unit-count and single-child loops, splices nested tails, folds
+//!   maximal runs of identical equally-spaced tail parts (the
+//!   equal-displacement struct-field shape) back into `Blocks`/`Loop`
+//!   frames — splitting a ragged tail into a strided prefix plus a short
+//!   literal tail — and collapses single-part tails. The
+//!   `dt.normalize.{rewrites,frames_before,frames_after}` counters record
+//!   what the pass accomplished.
+//!
+//! After normalization every `Blocks` frame records its kernel selection
+//! ([`crate::kernels::Sel`]): block-size class, alignment class, and the
+//! fixed-width/SIMD copy kernel that `auto` mode resolves to, so the
+//! interpreter's hot loop is one direct gather/scatter call per frame
+//! region with no per-block dispatch (see [`crate::kernels`]).
 //!
 //! The interpreter therefore preserves the paper's navigation contract:
 //! entry at an arbitrary `skipbytes` costs `O(depth)` (one division per
@@ -36,23 +51,33 @@ use std::sync::Arc;
 
 use lio_obs::LazyCounter;
 
+use crate::kernels::{self, Kind, Mode, Sel};
 use crate::types::{Datatype, TypeKind};
 
 static OBS_COMPILE_PROGRAMS: LazyCounter = LazyCounter::new("dt.compile.programs");
 static OBS_COMPILE_FRAMES: LazyCounter = LazyCounter::new("dt.compile.frames");
 static OBS_COMPILE_CACHE_HITS: LazyCounter = LazyCounter::new("dt.compile.cache_hits");
 
+/// Rewrites applied by the normalization pass, and the frame counts it
+/// saw before/after — `frames_before == frames_after` with
+/// `rewrites == 0` means programs were already canonical ("born strided").
+static OBS_NORM_REWRITES: LazyCounter = LazyCounter::new("dt.normalize.rewrites");
+static OBS_NORM_FRAMES_BEFORE: LazyCounter = LazyCounter::new("dt.normalize.frames_before");
+static OBS_NORM_FRAMES_AFTER: LazyCounter = LazyCounter::new("dt.normalize.frames_after");
+
 /// One node of a compiled run program.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum PNode {
     /// `count` dense blocks of `block` bytes, block `j` starting at
     /// `base + j·stride` — the `{count, block, stride}` frame. This is
-    /// the canonical strided form and the only node that copies bytes.
+    /// the canonical strided form and the only node that copies bytes;
+    /// `kern` records its compile-time kernel selection.
     Blocks {
         base: i64,
         stride: i64,
         block: u64,
         count: u64,
+        kern: Sel,
     },
     /// `count` repetitions of `body` (holding `size` data bytes each),
     /// repetition `i` originating at `base + i·stride`.
@@ -74,10 +99,22 @@ enum PNode {
 }
 
 /// One literal-tail entry: `node` displaced by `disp` bytes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Part {
     disp: i64,
     node: PNode,
+}
+
+/// The canonical `Blocks` constructor: kernel selection happens here,
+/// once, at compile time.
+fn blocks(base: i64, stride: i64, block: u64, count: u64) -> PNode {
+    PNode::Blocks {
+        base,
+        stride,
+        block,
+        count,
+        kern: Sel::select(block, stride),
+    }
 }
 
 /// A datatype compiled to a run program. Obtain via
@@ -89,6 +126,7 @@ pub struct RunProgram {
     size: u64,
     extent: i64,
     frames: u32,
+    rewrites: u32,
 }
 
 impl Datatype {
@@ -112,7 +150,20 @@ impl Datatype {
                     // a single Blocks frame is the fully normalized form:
                     // one strided memcpy loop, no interpreter recursion
                     let normalized = p.frames == 1 && matches!(p.root, Some(PNode::Blocks { .. }));
-                    lio_obs::profile::record_program(p.frames, loops, tails, mn, mx, normalized);
+                    let mut block_sizes = Vec::new();
+                    if let Some(root) = &p.root {
+                        collect_blocks(root, &mut block_sizes);
+                    }
+                    lio_obs::profile::record_program(
+                        p.frames,
+                        loops,
+                        tails,
+                        mn,
+                        mx,
+                        normalized,
+                        p.rewrites,
+                        &block_sizes,
+                    );
                 }
                 Arc::new(p)
             })
@@ -124,9 +175,26 @@ impl RunProgram {
     /// Compile `d` into a run program (no caching; prefer
     /// [`Datatype::program`]).
     pub fn compile(d: &Datatype) -> RunProgram {
-        let root = compile_node(d);
+        let raw = compile_node(d);
+        let before = raw.as_ref().map_or(0, count_frames);
+        let mut rewrites = 0u32;
+        let root = raw.map(|n| normalize(n, &mut rewrites));
+        let frames = root.as_ref().map_or(0, count_frames);
+        OBS_NORM_FRAMES_BEFORE.add(before as u64);
+        OBS_NORM_FRAMES_AFTER.add(frames as u64);
+        if rewrites > 0 {
+            OBS_NORM_REWRITES.add(rewrites as u64);
+        }
+        if let Some(root) = &root {
+            // count frames that selected a vector-eligible kernel
+            let selected = count_selected(root);
+            if selected > 0 {
+                kernels::OBS_KERNEL_SELECTED.add(selected);
+            }
+        }
         RunProgram {
-            frames: root.as_ref().map_or(0, count_frames),
+            frames,
+            rewrites,
             root,
             size: d.size(),
             extent: d.extent() as i64,
@@ -136,6 +204,19 @@ impl RunProgram {
     /// Number of program nodes (loop/tail/block frames).
     pub fn frames(&self) -> u32 {
         self.frames
+    }
+
+    /// Rewrites applied by the normalization pass; 0 means the raw
+    /// compile was already canonical.
+    pub fn rewrites(&self) -> u32 {
+        self.rewrites
+    }
+
+    /// A compact structural description, for tests and the profiler:
+    /// `B(base,stride,block,count)`, `L(base,count,stride,size)[body]`,
+    /// `T[@disp part; ...]`, or `-` for an empty program.
+    pub fn describe(&self) -> String {
+        self.root.as_ref().map_or_else(|| "-".into(), describe_node)
     }
 
     /// Pack `count` tiled instances into `packbuf`, skipping the first
@@ -163,6 +244,7 @@ impl RunProgram {
             cursor: 0,
             runs: 0,
             obs: lio_obs::enabled(),
+            mode: kernels::mode(),
         };
         let mut inst = skip / self.size;
         let mut s = skip % self.size;
@@ -201,6 +283,7 @@ impl RunProgram {
             cursor: 0,
             runs: 0,
             obs: lio_obs::enabled(),
+            mode: kernels::mode(),
         };
         let mut inst = skip / self.size;
         let mut s = skip % self.size;
@@ -222,12 +305,7 @@ fn compile_node(d: &Datatype) -> Option<PNode> {
     }
     // Any strided-reducible subtree collapses to one Blocks frame.
     if let Some(s) = d.as_strided() {
-        return Some(PNode::Blocks {
-            base: s.base,
-            stride: s.stride,
-            block: s.block,
-            count: s.count,
-        });
+        return Some(blocks(s.base, s.stride, s.block, s.count));
     }
     match d.kind() {
         // Basic always reduces to strided; markers hold no data.
@@ -297,35 +375,8 @@ fn compile_node(d: &Datatype) -> Option<PNode> {
                 // (the subarray placement shape)
                 let Part { disp, node } = parts.pop().unwrap();
                 match node {
-                    PNode::Blocks {
-                        base,
-                        stride,
-                        block,
-                        count,
-                    } => {
-                        return Some(PNode::Blocks {
-                            base: base + disp,
-                            stride,
-                            block,
-                            count,
-                        })
-                    }
-                    PNode::Loop {
-                        base,
-                        count,
-                        stride,
-                        size,
-                        body,
-                    } => {
-                        return Some(PNode::Loop {
-                            base: base + disp,
-                            count,
-                            stride,
-                            size,
-                            body,
-                        })
-                    }
-                    tail => parts.push(Part { disp, node: tail }),
+                    tail @ PNode::Tail { .. } => parts.push(Part { disp, node: tail }),
+                    other => return Some(shift(other, disp)),
                 }
             }
             Some(PNode::Tail {
@@ -351,44 +402,25 @@ fn tile(body: PNode, n: u64, step: i64, body_size: u64) -> PNode {
         stride,
         block,
         count,
+        ..
     } = body
     {
         if count == 1 {
             if step == block as i64 {
                 // dense: merge into one big block
-                return PNode::Blocks {
-                    base,
-                    stride: (block * n) as i64,
-                    block: block * n,
-                    count: 1,
-                };
+                return blocks(base, (block * n) as i64, block * n, 1);
             }
-            return PNode::Blocks {
-                base,
-                stride: step,
-                block,
-                count: n,
-            };
+            return blocks(base, step, block, n);
         }
         if step == stride * count as i64 {
-            return PNode::Blocks {
-                base,
-                stride,
-                block,
-                count: count * n,
-            };
+            return blocks(base, stride, block, count * n);
         }
         return PNode::Loop {
             base: 0,
             count: n,
             stride: step,
             size: body_size,
-            body: Box::new(PNode::Blocks {
-                base,
-                stride,
-                block,
-                count,
-            }),
+            body: Box::new(blocks(base, stride, block, count)),
         };
     }
     PNode::Loop {
@@ -397,6 +429,320 @@ fn tile(body: PNode, n: u64, step: i64, body_size: u64) -> PNode {
         stride: step,
         size: body_size,
         body: Box::new(body),
+    }
+}
+
+/// Displace `node` by `d` bytes (folding the displacement into the node
+/// instead of wrapping it in a unit tail).
+fn shift(node: PNode, d: i64) -> PNode {
+    if d == 0 {
+        return node;
+    }
+    match node {
+        PNode::Blocks {
+            base,
+            stride,
+            block,
+            count,
+            kern,
+        } => PNode::Blocks {
+            base: base + d,
+            stride,
+            block,
+            count,
+            kern,
+        },
+        PNode::Loop {
+            base,
+            count,
+            stride,
+            size,
+            body,
+        } => PNode::Loop {
+            base: base + d,
+            count,
+            stride,
+            size,
+            body,
+        },
+        PNode::Tail { parts, prefix } => {
+            let parts: Vec<Part> = parts
+                .iter()
+                .map(|p| Part {
+                    disp: p.disp + d,
+                    node: p.node.clone(),
+                })
+                .collect();
+            PNode::Tail {
+                parts: parts.into(),
+                prefix,
+            }
+        }
+    }
+}
+
+/// Data bytes held by one instance of `node`.
+fn node_size(node: &PNode) -> u64 {
+    match node {
+        PNode::Blocks { block, count, .. } => block * count,
+        PNode::Loop { count, size, .. } => count * size,
+        PNode::Tail { prefix, .. } => *prefix.last().unwrap_or(&0),
+    }
+}
+
+/// The normalization pass: rewrite the raw compile into canonical
+/// strided form wherever the type map permits, counting rewrites.
+/// Preserves data order and per-node data size exactly, so skip-entry
+/// arithmetic is unaffected.
+fn normalize(node: PNode, rw: &mut u32) -> PNode {
+    match node {
+        PNode::Blocks {
+            base,
+            stride,
+            block,
+            count,
+            ..
+        } => {
+            if count > 1 && stride == block as i64 {
+                // stride == block: the blocks are dense — one big block
+                *rw += 1;
+                blocks(base, (block * count) as i64, block * count, 1)
+            } else {
+                blocks(base, stride, block, count)
+            }
+        }
+        PNode::Loop {
+            base,
+            count,
+            stride,
+            size,
+            body,
+        } => {
+            let body = normalize(*body, rw);
+            if count == 1 {
+                // unit-count loop: hoist the body
+                *rw += 1;
+                return shift(body, base);
+            }
+            // re-run the tiling fold: a normalized body may now collapse
+            // (e.g. a dense inner vector that became a single block)
+            match tile(body, count, stride, size) {
+                PNode::Loop {
+                    base: b,
+                    count,
+                    stride,
+                    size,
+                    body,
+                } => PNode::Loop {
+                    base: base + b,
+                    count,
+                    stride,
+                    size,
+                    body,
+                },
+                folded => {
+                    *rw += 1;
+                    shift(folded, base)
+                }
+            }
+        }
+        PNode::Tail { parts, .. } => {
+            // normalize parts, splicing nested tails into this one so
+            // adjacency is visible across the former nesting boundary
+            let mut flat: Vec<Part> = Vec::with_capacity(parts.len());
+            for part in parts.iter() {
+                match normalize(part.node.clone(), rw) {
+                    PNode::Tail { parts: inner, .. } => {
+                        *rw += 1;
+                        for ip in inner.iter() {
+                            flat.push(Part {
+                                disp: part.disp + ip.disp,
+                                node: ip.node.clone(),
+                            });
+                        }
+                    }
+                    n => flat.push(Part {
+                        disp: part.disp,
+                        node: n,
+                    }),
+                }
+            }
+            let merged = merge_adjacent(flat, rw);
+            let mut folded = fold_runs(merged, rw);
+            if folded.len() == 1 {
+                // single-part tail: fold the displacement away
+                *rw += 1;
+                let Part { disp, node } = folded.pop().unwrap();
+                return shift(node, disp);
+            }
+            let mut prefix = Vec::with_capacity(folded.len() + 1);
+            let mut cum = 0u64;
+            prefix.push(0);
+            for p in &folded {
+                cum += node_size(&p.node);
+                prefix.push(cum);
+            }
+            PNode::Tail {
+                parts: folded.into(),
+                prefix: prefix.into(),
+            }
+        }
+    }
+}
+
+/// Merge neighboring `Blocks` parts that continue each other: two
+/// touching blocks become one bigger block, and blocks that keep a
+/// common stride extend the run. One linear sweep.
+fn merge_adjacent(parts: Vec<Part>, rw: &mut u32) -> Vec<Part> {
+    let mut out: Vec<Part> = Vec::with_capacity(parts.len());
+    for part in parts {
+        let Some(prev) = out.last_mut() else {
+            out.push(part);
+            continue;
+        };
+        if let Some(merged) = try_merge(prev, &part) {
+            *prev = merged;
+            *rw += 1;
+        } else {
+            out.push(part);
+        }
+    }
+    out
+}
+
+fn try_merge(a: &Part, b: &Part) -> Option<Part> {
+    let PNode::Blocks {
+        base: ab,
+        stride: astride,
+        block: ablock,
+        count: ac,
+        ..
+    } = a.node
+    else {
+        return None;
+    };
+    let PNode::Blocks {
+        base: bb,
+        stride: bstride,
+        block: bblock,
+        count: bc,
+        ..
+    } = b.node
+    else {
+        return None;
+    };
+    let a_start = a.disp + ab;
+    let b_start = b.disp + bb;
+    // touching single blocks (any sizes): one bigger block
+    if ac == 1 && bc == 1 && b_start == a_start + ablock as i64 {
+        let blk = ablock + bblock;
+        return Some(Part {
+            disp: 0,
+            node: blocks(a_start, blk as i64, blk, 1),
+        });
+    }
+    if ablock != bblock {
+        return None;
+    }
+    // same block size: extend the strided run when the spacing continues.
+    // A unit-count side imposes no stride constraint of its own.
+    let a_last = a_start + (ac as i64 - 1) * if ac > 1 { astride } else { 0 };
+    let step = b_start - a_last;
+    if step <= 0 {
+        return None;
+    }
+    let stride_ok = |c: u64, s: i64| c <= 1 || s == step;
+    if stride_ok(ac, astride) && stride_ok(bc, bstride) {
+        return Some(Part {
+            disp: 0,
+            node: blocks(a_start, step, ablock, ac + bc),
+        });
+    }
+    None
+}
+
+/// Fold maximal runs (length ≥ 2) of structurally identical parts at
+/// equally spaced displacements back through [`tile`] — the
+/// equal-displacement struct-field / ragged-hindexed shape. A run that
+/// tiles to `Blocks` yields a strided prefix; otherwise a `Loop` part.
+fn fold_runs(parts: Vec<Part>, rw: &mut u32) -> Vec<Part> {
+    let mut out: Vec<Part> = Vec::with_capacity(parts.len());
+    let mut i = 0;
+    while i < parts.len() {
+        if i + 1 < parts.len() && parts[i + 1].node == parts[i].node {
+            let step = parts[i + 1].disp - parts[i].disp;
+            if step != 0 {
+                let mut j = i + 1;
+                while j + 1 < parts.len()
+                    && parts[j + 1].node == parts[i].node
+                    && parts[j + 1].disp - parts[j].disp == step
+                {
+                    j += 1;
+                }
+                let n = (j - i + 1) as u64;
+                let body = parts[i].node.clone();
+                let size = node_size(&body);
+                *rw += 1;
+                out.push(Part {
+                    disp: parts[i].disp,
+                    node: tile(body, n, step, size),
+                });
+                i = j + 1;
+                continue;
+            }
+        }
+        out.push(parts[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Append every `Blocks` frame's block size (for the profiler's
+/// block-size histogram).
+fn collect_blocks(node: &PNode, sizes: &mut Vec<u64>) {
+    match node {
+        PNode::Blocks { block, .. } => sizes.push(*block),
+        PNode::Loop { body, .. } => collect_blocks(body, sizes),
+        PNode::Tail { parts, .. } => {
+            for p in parts.iter() {
+                collect_blocks(&p.node, sizes);
+            }
+        }
+    }
+}
+
+/// `Blocks` frames whose compile-time selection is kernel-eligible.
+fn count_selected(node: &PNode) -> u64 {
+    match node {
+        PNode::Blocks { kern, .. } => u64::from(kern.eligible()),
+        PNode::Loop { body, .. } => count_selected(body),
+        PNode::Tail { parts, .. } => parts.iter().map(|p| count_selected(&p.node)).sum(),
+    }
+}
+
+fn describe_node(node: &PNode) -> String {
+    match node {
+        PNode::Blocks {
+            base,
+            stride,
+            block,
+            count,
+            ..
+        } => format!("B({base},{stride},{block},{count})"),
+        PNode::Loop {
+            base,
+            count,
+            stride,
+            size,
+            body,
+        } => format!("L({base},{count},{stride},{size})[{}]", describe_node(body)),
+        PNode::Tail { parts, .. } => {
+            let inner: Vec<String> = parts
+                .iter()
+                .map(|p| format!("@{} {}", p.disp, describe_node(&p.node)))
+                .collect();
+            format!("T[{}]", inner.join("; "))
+        }
     }
 }
 
@@ -430,10 +776,14 @@ fn shape_of(node: &PNode) -> (u32, u32, u64, u64) {
 
 /// Where the interpreter's runs go: pack copies out of the typed buffer,
 /// unpack copies into it. `run` returns the bytes actually moved (short
-/// when the contiguous side is exhausted).
+/// when the contiguous side is exhausted); `blocks` moves a whole frame
+/// region of equal blocks through the frame's selected kernel, falling
+/// back to per-block `run` calls when the region's bounds cannot be
+/// proven (or the kernel is scalar).
 trait Sink {
     fn run(&mut self, pos: i64, len: u64) -> u64;
     fn full(&self) -> bool;
+    fn blocks(&mut self, start: i64, stride: i64, block: u64, count: u64, sel: Sel);
 }
 
 struct PackSink<'a> {
@@ -442,6 +792,7 @@ struct PackSink<'a> {
     cursor: usize,
     runs: u64,
     obs: bool,
+    mode: Mode,
 }
 
 impl Sink for PackSink<'_> {
@@ -465,6 +816,56 @@ impl Sink for PackSink<'_> {
     fn full(&self) -> bool {
         self.cursor == self.out.len()
     }
+
+    fn blocks(&mut self, start: i64, stride: i64, block: u64, count: u64, sel: Sel) {
+        let rem = (self.out.len() - self.cursor) as u64;
+        let full = count.min(rem / block);
+        let mut pos = start;
+        if full > 0 {
+            let kind = kernels::resolve(sel, self.mode);
+            let mut done = false;
+            if kind != Kind::Scalar {
+                let end = start + (full as i64 - 1) * stride + block as i64;
+                if start >= 0 && end >= 0 && end as u64 <= self.src.len() as u64 {
+                    // the whole region is in bounds: one direct kernel call
+                    unsafe {
+                        kernels::gather(
+                            kind,
+                            sel.class,
+                            self.src.as_ptr().add(start as usize),
+                            stride as isize,
+                            full as usize,
+                            self.out.as_mut_ptr().add(self.cursor),
+                        );
+                    }
+                    self.cursor += (full * block) as usize;
+                    self.runs += full;
+                    if self.obs {
+                        crate::ff::OBS_RUN_LEN.record_n(block, full);
+                        kernels::OBS_KERNEL_BLOCKS.add(full);
+                        kernels::OBS_KERNEL_BYTES.add(full * block);
+                    }
+                    done = true;
+                } else {
+                    kernels::OBS_KERNEL_FALLBACKS.incr();
+                }
+            }
+            if !done {
+                // scalar reference path (also preserves the original
+                // panic-on-out-of-bounds semantics)
+                for _ in 0..full {
+                    self.run(pos, block);
+                    pos += stride;
+                }
+            } else {
+                pos += full as i64 * stride;
+            }
+        }
+        if full < count && !self.full() {
+            // partial tail block: capacity ends inside this block
+            self.run(pos, block);
+        }
+    }
 }
 
 struct UnpackSink<'a> {
@@ -473,6 +874,7 @@ struct UnpackSink<'a> {
     cursor: usize,
     runs: u64,
     obs: bool,
+    mode: Mode,
 }
 
 impl Sink for UnpackSink<'_> {
@@ -496,6 +898,52 @@ impl Sink for UnpackSink<'_> {
     fn full(&self) -> bool {
         self.cursor == self.packbuf.len()
     }
+
+    fn blocks(&mut self, start: i64, stride: i64, block: u64, count: u64, sel: Sel) {
+        let rem = (self.packbuf.len() - self.cursor) as u64;
+        let full = count.min(rem / block);
+        let mut pos = start;
+        if full > 0 {
+            let kind = kernels::resolve(sel, self.mode);
+            let mut done = false;
+            if kind != Kind::Scalar {
+                let end = start + (full as i64 - 1) * stride + block as i64;
+                if start >= 0 && end >= 0 && end as u64 <= self.dst.len() as u64 {
+                    unsafe {
+                        kernels::scatter(
+                            kind,
+                            sel.class,
+                            self.packbuf.as_ptr().add(self.cursor),
+                            self.dst.as_mut_ptr().add(start as usize),
+                            stride as isize,
+                            full as usize,
+                        );
+                    }
+                    self.cursor += (full * block) as usize;
+                    self.runs += full;
+                    if self.obs {
+                        crate::ff::OBS_RUN_LEN.record_n(block, full);
+                        kernels::OBS_KERNEL_BLOCKS.add(full);
+                        kernels::OBS_KERNEL_BYTES.add(full * block);
+                    }
+                    done = true;
+                } else {
+                    kernels::OBS_KERNEL_FALLBACKS.incr();
+                }
+            }
+            if !done {
+                for _ in 0..full {
+                    self.run(pos, block);
+                    pos += stride;
+                }
+            } else {
+                pos += full as i64 * stride;
+            }
+        }
+        if full < count && !self.full() {
+            self.run(pos, block);
+        }
+    }
 }
 
 impl PNode {
@@ -510,6 +958,7 @@ impl PNode {
                 stride,
                 block,
                 count,
+                kern,
             } => {
                 let mut j = skip / block;
                 if j >= *count {
@@ -517,19 +966,17 @@ impl PNode {
                 }
                 let within = skip % block;
                 let mut start = origin + base + j as i64 * stride;
-                // first (possibly partial) block
-                let want = block - within;
-                if sink.run(start + within as i64, want) < want {
-                    return;
-                }
-                j += 1;
-                start += stride;
-                while j < *count {
-                    if sink.run(start, *block) < *block {
+                if within != 0 {
+                    // partial first block, then the kernelized region
+                    let want = block - within;
+                    if sink.run(start + within as i64, want) < want {
                         return;
                     }
                     j += 1;
                     start += stride;
+                }
+                if j < *count {
+                    sink.blocks(start, *stride, *block, *count - j, *kern);
                 }
             }
             PNode::Loop {

@@ -8,8 +8,10 @@
 //! corpus runs, and every assertion message carries a one-line replay
 //! command so a CI failure is reproducible from the log alone.
 
+use lio_datatype::kernels::{self, Mode};
 use lio_datatype::{
     ff_offset, ff_pack, ff_pack_shards, ff_unpack, ff_unpack_shards, Datatype, Field, FlatIter,
+    RunProgram,
 };
 use lio_testkit::{corpus_seeds, Rng};
 
@@ -213,6 +215,205 @@ fn unpack_sharded_agrees_with_single() {
             }
         }
     }
+}
+
+/// Every forced kernel family must produce byte-for-byte the stream the
+/// tree walk produces, across random monotone trees × skips 0..16. The
+/// kernel mode is process-global and the guarantee is bit-identity, so
+/// flipping it here cannot perturb the concurrently running tests.
+#[test]
+fn forced_kernels_bit_identical() {
+    for seed in corpus_seeds() {
+        for case in 0..12u64 {
+            let mut rng = Rng::new(seed.rotate_left(43) ^ (case.wrapping_mul(0x9E37)));
+            let d = arb_monotone(&mut rng, 1 + (case % 3) as u32);
+            let count = 1 + rng.below(3);
+            let total = d.size() * count;
+            let span = span_of(&d, count);
+            if span == 0 || span >= 1 << 22 {
+                continue;
+            }
+            let src: Vec<u8> = (0..span).map(|i| (i % 251) as u8).collect();
+            let prog = d.program();
+            for skip in (0..16u64).filter(|s| *s < total) {
+                let want_len = (total - skip) as usize;
+                let mut walk = vec![0u8; want_len];
+                treewalk_pack(&src, count, &d, skip, &mut walk);
+
+                // scalar unpack is the scatter reference for the families
+                kernels::force(Mode::Scalar);
+                let mut scalar_dst = vec![0xAAu8; span];
+                prog.unpack_into(&walk, &mut scalar_dst, 0, count, skip);
+
+                for &m in Mode::ALL.iter() {
+                    kernels::force(m);
+                    let mut packed = vec![0u8; want_len];
+                    let (n, _) = prog.pack_into(&src, 0, count, skip, &mut packed);
+                    assert_eq!(
+                        n,
+                        want_len,
+                        "{} pack short for {d:?} skip {skip}; {}",
+                        m.name(),
+                        replay(seed, case)
+                    );
+                    assert_eq!(
+                        packed,
+                        walk,
+                        "{} pack ≠ tree walk for {d:?} skip {skip}; {}",
+                        m.name(),
+                        replay(seed, case)
+                    );
+                    let mut dst = vec![0xAAu8; span];
+                    let (n, _) = prog.unpack_into(&walk, &mut dst, 0, count, skip);
+                    assert_eq!(
+                        n,
+                        want_len,
+                        "{} unpack short for {d:?} skip {skip}; {}",
+                        m.name(),
+                        replay(seed, case)
+                    );
+                    assert_eq!(
+                        dst,
+                        scalar_dst,
+                        "{} unpack ≠ scalar for {d:?} skip {skip}; {}",
+                        m.name(),
+                        replay(seed, case)
+                    );
+                }
+                kernels::force(Mode::Auto);
+            }
+        }
+    }
+}
+
+/// The normalization pass, pinned to exact frame shapes via
+/// [`RunProgram::describe`]. Each case is a layout the raw compiler
+/// cannot reduce (`as_strided` gives up on the irregularity) but the
+/// pass rewrites into canonical strided form.
+#[test]
+fn normalization_pinned_shapes() {
+    // exact-shape pin + correctness: the normalized program must still
+    // pack exactly what the tree walk packs
+    let check = |name: &str, d: &Datatype, want: &str, min_rw: u32| {
+        let p = RunProgram::compile(d);
+        assert_eq!(p.describe(), want, "{name}: frame shape");
+        assert!(
+            p.rewrites() >= min_rw,
+            "{name}: expected ≥{min_rw} rewrites, got {}",
+            p.rewrites()
+        );
+        let span = span_of(d, 1);
+        let src: Vec<u8> = (0..span).map(|i| (i % 251) as u8).collect();
+        let mut walk = vec![0u8; d.size() as usize];
+        treewalk_pack(&src, 1, d, 0, &mut walk);
+        let mut prog = vec![0u8; d.size() as usize];
+        p.pack_into(&src, 0, 1, 0, &mut prog);
+        assert_eq!(prog, walk, "{name}: normalized program corrupts data");
+    };
+
+    // ragged tail split: three identical strided rows at a regular step
+    // fold into one maximal Blocks prefix, the short trailing field
+    // stays as the literal tail
+    let row = Datatype::vector(4, 1, 2, &Datatype::basic(8)).unwrap();
+    let ragged = Datatype::struct_type(vec![
+        Field {
+            disp: 0,
+            count: 1,
+            child: row.clone(),
+        },
+        Field {
+            disp: 64,
+            count: 1,
+            child: row.clone(),
+        },
+        Field {
+            disp: 128,
+            count: 1,
+            child: row.clone(),
+        },
+        Field {
+            disp: 200,
+            count: 1,
+            child: Datatype::basic(8),
+        },
+    ])
+    .unwrap();
+    check(
+        "ragged_tail",
+        &ragged,
+        "T[@0 B(0,16,8,12); @200 B(0,8,8,1)]",
+        2,
+    );
+
+    // adjacent-block merge: two touching 8-byte blocks become one
+    // 16-byte block; the outlier at 32 keeps the tail alive
+    let touching = Datatype::hindexed(&[1, 1, 1], &[0, 8, 32], &Datatype::basic(8)).unwrap();
+    check(
+        "adjacent_merge",
+        &touching,
+        "T[@0 B(0,16,16,1); @32 B(0,8,8,1)]",
+        1,
+    );
+
+    // stride == block collapse: a dense run of four 8-byte blocks
+    // merges into a single 32-byte block
+    let dense_run =
+        Datatype::hindexed(&[1, 1, 1, 1, 1], &[0, 8, 16, 24, 100], &Datatype::basic(8)).unwrap();
+    check(
+        "dense_run_collapse",
+        &dense_run,
+        "T[@0 B(0,32,32,1); @100 B(0,8,8,1)]",
+        3,
+    );
+
+    // equal-displacement struct fields: four identical strided fields at
+    // a 32-byte step refold into a Loop over one Blocks frame
+    let elem = Datatype::vector(2, 1, 3, &Datatype::basic(4)).unwrap();
+    let fields = Datatype::struct_type(
+        (0..4)
+            .map(|i| Field {
+                disp: i * 32,
+                count: 1,
+                child: elem.clone(),
+            })
+            .collect(),
+    )
+    .unwrap();
+    check("equal_disp_struct", &fields, "L(0,4,32,8)[B(0,12,4,2)]", 2);
+
+    // vector-of-vector built raggedly (hindexed rows at a step that
+    // breaks cross-row stride regularity): the pass folds the 8 equal
+    // parts into Loop{Blocks} — the shape BENCH_pack's kernels eat
+    let lens = [1u64; 8];
+    let disps: Vec<i64> = (0..8).map(|i| i * 100).collect();
+    let vv = Datatype::hindexed(&lens, &disps, &row).unwrap();
+    check("vv_ragged", &vv, "L(0,8,100,32)[B(0,16,8,4)]", 2);
+
+    // BTIO-style tile as a struct of explicit planes: plane = 4 rows of
+    // 16 B at 64-byte pitch, planes 512 B apart
+    let plane_lens = [1u64; 4];
+    let plane_disps: Vec<i64> = (0..4).map(|i| i * 64).collect();
+    let plane = Datatype::hindexed(&plane_lens, &plane_disps, &Datatype::basic(16)).unwrap();
+    let tile = Datatype::struct_type(vec![
+        Field {
+            disp: 0,
+            count: 1,
+            child: plane.clone(),
+        },
+        Field {
+            disp: 512,
+            count: 1,
+            child: plane,
+        },
+    ])
+    .unwrap();
+    check("btio_struct_tile", &tile, "L(0,2,512,64)[B(0,64,16,4)]", 2);
+
+    // already-canonical shapes pass through untouched
+    let v = Datatype::vector(4, 2, 2, &Datatype::basic(8)).unwrap();
+    let p = RunProgram::compile(&v);
+    assert_eq!(p.describe(), "B(0,64,64,1)");
+    assert_eq!(p.rewrites(), 0, "dense vector is canonical at compile");
 }
 
 /// Shard-boundary edge cases, pinned explicitly rather than left to the

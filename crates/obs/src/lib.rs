@@ -491,7 +491,7 @@ pub fn elapsed_ns(start: Option<Instant>) -> u64 {
 // ---------------------------------------------------------------------------
 
 /// Point-in-time copy of one histogram.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: u64,

@@ -134,11 +134,14 @@ struct State {
     // compiled run-program shape
     programs: AtomicU64,
     programs_normalized: AtomicU64,
+    programs_rewritten: AtomicU64,
+    programs_born_strided: AtomicU64,
     frames: AtomicU64,
     loop_frames: AtomicU64,
     tail_frames: AtomicU64,
     min_block: AtomicU64,
     max_block: AtomicU64,
+    program_blocks: Histogram,
     // file domains (recorded by rank 0 of each collective)
     domain_ops: AtomicU64,
     domain_span: AtomicU64,
@@ -170,11 +173,14 @@ impl State {
             view_contiguous: AtomicU64::new(0),
             programs: AtomicU64::new(0),
             programs_normalized: AtomicU64::new(0),
+            programs_rewritten: AtomicU64::new(0),
+            programs_born_strided: AtomicU64::new(0),
             frames: AtomicU64::new(0),
             loop_frames: AtomicU64::new(0),
             tail_frames: AtomicU64::new(0),
             min_block: AtomicU64::new(u64::MAX),
             max_block: AtomicU64::new(0),
+            program_blocks: Histogram::new(),
             domain_ops: AtomicU64::new(0),
             domain_span: AtomicU64::new(0),
             domain_covered: AtomicU64::new(0),
@@ -212,11 +218,14 @@ pub fn reset() {
     s.view_contiguous.store(0, Relaxed);
     s.programs.store(0, Relaxed);
     s.programs_normalized.store(0, Relaxed);
+    s.programs_rewritten.store(0, Relaxed);
+    s.programs_born_strided.store(0, Relaxed);
     s.frames.store(0, Relaxed);
     s.loop_frames.store(0, Relaxed);
     s.tail_frames.store(0, Relaxed);
     s.min_block.store(u64::MAX, Relaxed);
     s.max_block.store(0, Relaxed);
+    s.program_blocks.reset();
     s.domain_ops.store(0, Relaxed);
     s.domain_span.store(0, Relaxed);
     s.domain_covered.store(0, Relaxed);
@@ -299,7 +308,12 @@ pub fn record_view(size: u64, extent: u64, leaf_runs: u64, contiguous: bool) {
 }
 
 /// A datatype run-program was compiled: its frame mix, block-size range,
-/// and whether it normalized to a single `Blocks` frame.
+/// whether it reached the fully strided single-`Blocks` form
+/// (`normalized`), how many rewrites the normalization pass applied to
+/// get there (`rewrites` — 0 means the program was *born* strided), and
+/// the block size of every `Blocks` frame (feeds the block-size
+/// histogram the kernel-eligibility advisor reads).
+#[allow(clippy::too_many_arguments)]
 #[inline(always)]
 pub fn record_program(
     frames: u32,
@@ -308,6 +322,8 @@ pub fn record_program(
     min_block: u64,
     max_block: u64,
     normalized: bool,
+    rewrites: u32,
+    block_sizes: &[u64],
 ) {
     if !enabled() {
         return;
@@ -317,6 +333,11 @@ pub fn record_program(
     if normalized {
         s.programs_normalized.fetch_add(1, Relaxed);
     }
+    if rewrites > 0 {
+        s.programs_rewritten.fetch_add(1, Relaxed);
+    } else if normalized {
+        s.programs_born_strided.fetch_add(1, Relaxed);
+    }
     s.frames.fetch_add(frames as u64, Relaxed);
     s.loop_frames.fetch_add(loops as u64, Relaxed);
     s.tail_frames.fetch_add(tails as u64, Relaxed);
@@ -324,6 +345,9 @@ pub fn record_program(
         s.min_block.fetch_min(min_block, Relaxed);
     }
     s.max_block.fetch_max(max_block, Relaxed);
+    for &b in block_sizes {
+        s.program_blocks.record(b);
+    }
 }
 
 /// File-domain geometry of one collective op (record on one rank only):
@@ -455,13 +479,23 @@ impl ViewStats {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ShapeStats {
     pub programs: u64,
+    /// Programs that reached the fully strided single-`Blocks` form.
     pub normalized: u64,
+    /// Programs the normalization pass actually rewrote (≥ 1 rewrite);
+    /// `normalized` programs with no rewrites were *born* strided.
+    pub rewritten: u64,
+    /// Programs already canonical before the pass (strided with zero
+    /// rewrites).
+    pub born_strided: u64,
     pub frames: u64,
     pub loop_frames: u64,
     pub tail_frames: u64,
     /// Smallest contiguous block any program moves; 0 when none compiled.
     pub min_block: u64,
     pub max_block: u64,
+    /// Block size of every compiled `Blocks` frame — what the pack
+    /// kernels would operate on.
+    pub block_sizes: HistogramSnapshot,
 }
 
 /// File-domain geometry and per-rank skew.
@@ -641,11 +675,14 @@ pub fn snapshot() -> ProfileSnapshot {
         shape: ShapeStats {
             programs: s.programs.load(Relaxed),
             normalized: s.programs_normalized.load(Relaxed),
+            rewritten: s.programs_rewritten.load(Relaxed),
+            born_strided: s.programs_born_strided.load(Relaxed),
             frames: s.frames.load(Relaxed),
             loop_frames: s.loop_frames.load(Relaxed),
             tail_frames: s.tail_frames.load(Relaxed),
             min_block: if min_block == u64::MAX { 0 } else { min_block },
             max_block: s.max_block.load(Relaxed),
+            block_sizes: hist_snapshot(&s.program_blocks),
         },
         domains: DomainStats {
             ops: s.domain_ops.load(Relaxed),
@@ -713,7 +750,17 @@ impl ProfileSnapshot {
         } else {
             format!("{phase}-bound ({:.0}%)", frac * 100.0)
         };
-        format!("{dir}, {contig}, {median}, {bound}")
+        let progs = if self.shape.programs == 0 {
+            String::new()
+        } else {
+            // distinguish programs the normalization pass rewrote into
+            // strided form from those that compiled strided to begin with
+            format!(
+                ", {} programs ({} rewritten, {} born strided)",
+                self.shape.programs, self.shape.rewritten, self.shape.born_strided
+            )
+        };
+        format!("{dir}, {contig}, {median}, {bound}{progs}")
     }
 
     /// Serialize to a JSON object string. Field order is fixed and all
@@ -756,16 +803,20 @@ impl ProfileSnapshot {
         ));
         out.push_str("},\n  \"datatype\": {");
         out.push_str(&format!(
-            "\"programs\": {}, \"normalized\": {}, \"frames\": {}, \"loop_frames\": {}, \
-             \"tail_frames\": {}, \"min_block\": {}, \"max_block\": {}",
+            "\"programs\": {}, \"normalized\": {}, \"rewritten\": {}, \"born_strided\": {}, \
+             \"frames\": {}, \"loop_frames\": {}, \
+             \"tail_frames\": {}, \"min_block\": {}, \"max_block\": {}, \"block_sizes\": ",
             self.shape.programs,
             self.shape.normalized,
+            self.shape.rewritten,
+            self.shape.born_strided,
             self.shape.frames,
             self.shape.loop_frames,
             self.shape.tail_frames,
             self.shape.min_block,
             self.shape.max_block
         ));
+        write_hist(&mut out, &self.shape.block_sizes);
         out.push_str("},\n  \"domains\": {");
         out.push_str(&format!(
             "\"ops\": {}, \"span_bytes\": {}, \"covered_bytes\": {}, \"overlap_bytes\": {}, \
@@ -1002,6 +1053,41 @@ fn rule_pack_threads(p: &ProfileSnapshot) -> Option<Recommendation> {
     }
 }
 
+/// Largest block size the fixed-block pack kernels cover
+/// (`lio-datatype::kernels` classes: 2/4/8/16/32 B).
+pub const KERNEL_MAX_BLOCK: u64 = 32;
+
+fn rule_pack_kernel(p: &ProfileSnapshot) -> Option<Recommendation> {
+    if p.shape.programs == 0 || p.shape.block_sizes.count == 0 {
+        return None;
+    }
+    let p50 = p.shape.block_sizes.p50();
+    let mn = p.shape.min_block;
+    if p50 <= KERNEL_MAX_BLOCK {
+        Some(Recommendation {
+            rule: "pack_kernel",
+            setting: "pack_kernel=auto".to_string(),
+            reason: format!(
+                "run-program block-size histogram has median {p50} B (min {mn} B): most \
+                 copies fall in the 2–{KERNEL_MAX_BLOCK} B fixed-block classes where the \
+                 vector kernels measure ≥ 1.3× over the scalar interpreter (BENCH_pack), \
+                 so keep pack_kernel=auto and let per-frame selection engage them"
+            ),
+        })
+    } else {
+        Some(Recommendation {
+            rule: "pack_kernel",
+            setting: "pack_kernel=auto".to_string(),
+            reason: format!(
+                "run-program block-size histogram has median {p50} B, above the \
+                 {KERNEL_MAX_BLOCK} B kernel classes: blocks this large already copy at \
+                 memcpy speed and the fixed-block kernels will not engage (auto costs \
+                 nothing and still covers any small-block frames that appear)"
+            ),
+        })
+    }
+}
+
 fn rule_sieving(p: &ProfileSnapshot) -> Option<Recommendation> {
     if !p.has_independent() || p.view.views_set == 0 || p.view.contiguous {
         return None;
@@ -1057,6 +1143,12 @@ pub static RULES: &[Rule] = &[
         description: "shard packing only when the pack-copy granularity amortizes the \
                       handoff cost; otherwise single-threaded",
         apply: rule_pack_threads,
+    },
+    Rule {
+        name: "pack_kernel",
+        description: "small-block run programs (2–32 B blocks) engage the fixed-block \
+                      vector pack kernels; larger blocks copy at memcpy speed anyway",
+        apply: rule_pack_kernel,
     },
     Rule {
         name: "sieving",
@@ -1160,11 +1252,14 @@ mod tests {
             shape: ShapeStats {
                 programs: 4,
                 normalized: 4,
+                rewritten: 0,
+                born_strided: 4,
                 frames: 4,
                 loop_frames: 0,
                 tail_frames: 0,
                 min_block: 1024,
                 max_block: 1024,
+                block_sizes: hist_of(1024, 4),
             },
             domains: DomainStats {
                 ops: 1,
@@ -1223,11 +1318,14 @@ mod tests {
             shape: ShapeStats {
                 programs: 1,
                 normalized: 1,
+                rewritten: 0,
+                born_strided: 1,
                 frames: 1,
                 loop_frames: 0,
                 tail_frames: 0,
                 min_block: 1 << 20,
                 max_block: 1 << 20,
+                block_sizes: hist_of(1 << 20, 1),
             },
             domains: DomainStats::default(),
             storage: StorageStats {
@@ -1250,7 +1348,8 @@ mod tests {
             record_run(512, 0, true);
             record_strided(256, 1024, 8);
             record_view(1 << 16, 1 << 18, 128, false);
-            record_program(1, 0, 0, 256, 256, true);
+            record_program(1, 0, 0, 256, 256, true, 0, &[256]);
+            record_program(2, 1, 0, 8, 8, true, 3, &[8]);
             record_domains(1 << 20, 1 << 19, 0);
             record_rank_access(0, 1000);
             record_rank_access(1, 3000);
@@ -1267,8 +1366,11 @@ mod tests {
             assert_eq!(p.runs.contiguous, 1);
             assert_eq!(p.view.leaf_runs, 128);
             assert!((p.view.density() - 0.25).abs() < 1e-9);
-            assert_eq!(p.shape.normalized, 1);
-            assert_eq!(p.shape.min_block, 256);
+            assert_eq!(p.shape.normalized, 2);
+            assert_eq!(p.shape.rewritten, 1);
+            assert_eq!(p.shape.born_strided, 1);
+            assert_eq!(p.shape.min_block, 8);
+            assert_eq!(p.shape.block_sizes.count, 2);
             assert!((p.domains.coverage() - 0.5).abs() < 1e-9);
             assert_eq!(p.domains.rank_access_bytes, vec![1000, 3000]);
             assert!((p.domains.access_skew() - 1.5).abs() < 1e-9);
@@ -1328,6 +1430,8 @@ mod tests {
         assert_eq!(by_rule("pack_threads").setting, "pack_threads=1");
         // span 4 MiB/op → 1 MiB windows
         assert!(by_rule("cb_buffer_size").setting.contains("1048576"));
+        // 1 KiB blocks sit above the fixed-block kernel classes
+        assert!(by_rule("pack_kernel").reason.contains("will not engage"));
         // every recommendation explains itself
         assert!(recs.iter().all(|r| !r.reason.is_empty()));
     }
@@ -1372,6 +1476,7 @@ mod tests {
             "pipelining",
             "cb_buffer_size",
             "pack_threads",
+            "pack_kernel",
             "sieving",
         ] {
             assert!(names.contains(&want), "rule {want} missing from table");
