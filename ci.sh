@@ -25,6 +25,30 @@ LIO_PIPELINE=0 cargo test -q -p lio-core --test collective --test pipeline
 echo "== collective suites under LIO_PIPELINE=1"
 LIO_PIPELINE=1 cargo test -q -p lio-core --test collective --test pipeline
 
+# Real-storage backend: the collective + pipeline + fault suites again
+# with every storage stack forced onto OsFile (submission queue over a
+# real unlinked file), once on tmpfs and once on a real directory so
+# both the fast-page-cache and the ordinary-filesystem paths are
+# exercised. Cross-backend equivalence itself is the backend corpus:
+# the same differential cases must produce byte-identical files under
+# every backend × pipeline combination.
+mkdir -p target/lio-os-ci
+for osdir in /dev/shm "$PWD/target/lio-os-ci"; do
+  echo "== collective/pipeline/faults suites under LIO_BACKEND=os LIO_OS_DIR=$osdir"
+  LIO_BACKEND=os LIO_OS_DIR=$osdir \
+    cargo test -q -p lio-core --test collective --test pipeline --test faults
+  echo "== OsFile fault/edge suites under LIO_OS_DIR=$osdir"
+  LIO_OS_DIR=$osdir cargo test -q -p lio-pfs --test os_faults --test os_edge
+done
+
+echo "== backend corpus cross-product LIO_BACKEND={mem,os} x LIO_PIPELINE={0,1}"
+for be in mem os; do
+  for pipe in 0 1; do
+    echo "  -- LIO_BACKEND=$be LIO_PIPELINE=$pipe"
+    LIO_BACKEND=$be LIO_PIPELINE=$pipe cargo test -q -p lio-core --test backend
+  done
+done
+
 # The collective suites again with the sharded pack/unpack forced on
 # and off: LIO_PACK_THREADS=4 routes every listless memtype copy above
 # the threshold through the multi-threaded shard path, so a sharding
@@ -94,6 +118,13 @@ LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench trace_overhead
 # disabled the record hooks must be within run-to-run noise.
 echo "== profile_overhead gate"
 LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench profile_overhead
+
+# Submission-queue backend overhead gate: on contiguous page-aligned
+# 4 MiB transfers the OsFile layer must stay within 5% of a direct
+# pread/pwrite (exits non-zero on a clean violation; prints CHECK when
+# the host's own noise floor exceeds the threshold).
+echo "== os_overhead gate"
+LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench os_overhead
 
 # Perf trajectory: regenerate the pipeline bench artifact and compare
 # against the committed baseline; warns (never fails) on >15% wall-time

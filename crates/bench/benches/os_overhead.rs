@@ -1,0 +1,110 @@
+//! Cost of the submission-queue backend on contiguous transfers.
+//!
+//! The acceptance bar for `OsFile` is that its machinery stays within 5%
+//! of a direct `pread`/`pwrite` on the transfers where it adds nothing:
+//! contiguous, page-aligned 4 MiB accesses. Those plan to a single
+//! segment, which the facade executes inline on the caller thread (a
+//! worker handoff buys no parallelism there), so the gate prices the
+//! planning + dispatch layer itself. As in `fault_overhead`, the
+//! baseline is the direct path measured twice — the run-to-run delta
+//! bounds the noise floor — and the verdict allows for a noisy host. A
+//! clean FAIL (overhead above both 5% and the noise floor) exits
+//! non-zero so CI can gate on it.
+//!
+//! The genuinely queued path (forced multi-segment, through the worker
+//! threadpool) is measured alongside for the record but not gated: its
+//! cost is two scheduler wakes per segment, which on a single-core CI
+//! host is real context-switch time, not a regression.
+
+use lio_bench::harness::Group;
+use lio_pfs::{os, OsConfig, OsFile, QueueConfig, StorageFile};
+use std::hint::black_box;
+
+const XFER: usize = 4 << 20;
+
+/// Fixed configuration (not `from_env`) so the gate always measures the
+/// same shape: align 4096 and `max_seg` ≥ `XFER` make a 4 MiB aligned
+/// transfer plan to exactly one zero-copy segment — the inline path.
+fn queued_file(max_seg: usize) -> OsFile {
+    OsFile::over(
+        os::temp_unix().expect("temp file"),
+        OsConfig {
+            queue: QueueConfig {
+                workers: 2,
+                depth: 64,
+                shuffle_seed: None,
+            },
+            align: 4096,
+            max_seg,
+        },
+    )
+}
+
+fn main() {
+    lio_obs::set_enabled(false);
+    let direct = os::temp_unix().expect("temp file");
+    let queued = queued_file(XFER);
+    let workers = queued_file(XFER / 2); // 2 segments: the worker path
+    let data = vec![0xA5u8; XFER];
+    direct.write_at(0, &data).unwrap();
+    queued.write_at(0, &data).unwrap();
+    workers.write_at(0, &data).unwrap();
+    let mut buf = vec![0u8; XFER];
+
+    let mut g = Group::new("os_overhead");
+    g.sample_size(20).throughput_bytes(XFER as u64);
+
+    let read_base_a = g.bench("read_direct_a", || {
+        black_box(direct.read_at(0, black_box(&mut buf))).unwrap();
+    });
+    let read_base_b = g.bench("read_direct_b", || {
+        black_box(direct.read_at(0, black_box(&mut buf))).unwrap();
+    });
+    let read_q = g.bench("read_os", || {
+        black_box(queued.read_at(0, black_box(&mut buf))).unwrap();
+    });
+    let read_w = g.bench("read_os_workers", || {
+        black_box(workers.read_at(0, black_box(&mut buf))).unwrap();
+    });
+    let write_base_a = g.bench("write_direct_a", || {
+        black_box(direct.write_at(0, black_box(&data))).unwrap();
+    });
+    let write_base_b = g.bench("write_direct_b", || {
+        black_box(direct.write_at(0, black_box(&data))).unwrap();
+    });
+    let write_q = g.bench("write_os", || {
+        black_box(queued.write_at(0, black_box(&data))).unwrap();
+    });
+    let write_w = g.bench("write_os_workers", || {
+        black_box(workers.write_at(0, black_box(&data))).unwrap();
+    });
+
+    let mut failed = false;
+    for (op, a, b, q, w) in [
+        ("read", read_base_a, read_base_b, read_q, read_w),
+        ("write", write_base_a, write_base_b, write_q, write_w),
+    ] {
+        // Compare minima, not medians: page-cache transfers of this size
+        // are interference-prone, and the best observed iteration is the
+        // stable estimator of the path's intrinsic cost.
+        let base = a.min_ns.min(b.min_ns);
+        let noise_pct = (a.min_ns - b.min_ns).abs() / base * 100.0;
+        let over_pct = (q.min_ns - base) / base * 100.0;
+        let worker_pct = (w.min_ns - base) / base * 100.0;
+        println!("{op}: direct run-to-run delta:  {noise_pct:.2}% (noise floor)");
+        println!("{op}: os backend vs direct:     {over_pct:+.2}%");
+        println!("{op}: worker path vs direct:    {worker_pct:+.2}% (informational)");
+        let verdict = if over_pct < 5.0_f64.max(noise_pct) {
+            "PASS"
+        } else if noise_pct >= 5.0 {
+            "CHECK (noisy host)"
+        } else {
+            failed = true;
+            "FAIL"
+        };
+        println!("{op}: backend-overhead-within-5%: {verdict}");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

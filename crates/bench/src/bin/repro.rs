@@ -83,6 +83,7 @@ fn main() {
         "metrics" => metrics(&opts),
         "trace" => trace_cmd(&opts),
         "profile" => profile_cmd(&opts),
+        "bench" => bench_cmd(&opts),
         "all" => {
             fig5(&opts);
             fig6(&opts);
@@ -106,7 +107,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro fig5|fig6|fig7|fig8|table1|table2|table3|overheads|multidim|ablation|throttle|tileio|metrics|trace|profile|all \
+        "usage: repro fig5|fig6|fig7|fig8|table1|table2|table3|overheads|multidim|ablation|throttle|tileio|metrics|trace|profile|bench|all \
          [--quick] [--data BYTES]\n       repro validate-json <file>\n       repro bench-compare <baseline.json> <current.json>"
     );
     std::process::exit(2);
@@ -761,6 +762,16 @@ fn metrics(opts: &Opts) {
             true,
         ));
     }
+    // the real-disk column: the same collective through the `os`
+    // submission-queue backend (worker threadpool over a real file),
+    // counters still collected above the queue's facade
+    for (engine, ename) in ENGINES.iter() {
+        configs.push((
+            format!("{}_os", ename.replace('-', "_")),
+            Hints::with_engine(*engine).backend(lio_core::BackendKind::Os),
+            false,
+        ));
+    }
     // listless with a nested non-contiguous memtype big enough to cross
     // the sharding threshold: exercises the compiled run programs
     // (`dt.compile.*`) and the sharded copy (`dt.pack.shard.*`)
@@ -782,6 +793,10 @@ fn metrics(opts: &Opts) {
         };
         let shared = if *throttled {
             SharedFile::new(CountingFile::new(ThrottledFile::new(MemFile::new(), slow)))
+        } else if hints.backend == lio_core::BackendKind::Os {
+            SharedFile::new(CountingFile::new(
+                lio_pfs::OsFile::temp().expect("os backend temp file"),
+            ))
         } else {
             SharedFile::new(CountingFile::new(MemFile::new()))
         };
@@ -930,6 +945,18 @@ fn metrics(opts: &Opts) {
             ("sblock", sblock.to_string()),
         ],
     );
+}
+
+/// `repro bench`: regenerate the schema-versioned pipeline bench
+/// artifact (`BENCH_pipeline.json`), including the `{engine}/os/{off,on}`
+/// real-storage backend column, through the same measurement code the
+/// `pipeline` cargo bench target runs. `--quick` shrinks the sampling
+/// the same way `LIO_BENCH_FAST=1` does.
+fn bench_cmd(opts: &Opts) {
+    if opts.quick {
+        std::env::set_var("LIO_BENCH_FAST", "1");
+    }
+    lio_bench::pipebench::run();
 }
 
 /// `repro trace`: a 4-rank pipelined collective write + read on

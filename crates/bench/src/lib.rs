@@ -7,6 +7,7 @@
 //! reporting, and throughput lines, with no dependencies.
 
 pub mod harness;
+pub mod pipebench;
 pub mod schema;
 
 /// Format a byte count the way the paper's axes do (8, 64, 1 k, 16 k...).

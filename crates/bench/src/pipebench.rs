@@ -1,0 +1,323 @@
+//! Pipelined vs monolithic two-phase collective writes, shared between
+//! the `pipeline` cargo bench and `repro bench` so both produce the same
+//! schema-versioned `BENCH_pipeline.json`. Three sections:
+//!
+//! * timed `Group` comparisons on throttled in-memory storage (latency
+//!   ≥ 100 µs per file access, the regime the pipeline targets),
+//!   pipeline off/on × both engines at equal `cb_buffer_size` — the
+//!   headline wall-clock improvement;
+//! * the same collective on the `os` submission-queue backend — a real
+//!   kernel-backed file (under `LIO_OS_DIR`) driven through the worker
+//!   threadpool — recorded as the `{engine}/os/{off,on}` real-disk
+//!   column;
+//! * an instrumented overlap proof: with the `lio-obs` registry
+//!   recording, a run whose `exchange_ns + io_ns` exceeds its wall time
+//!   can only have overlapped the storage lanes with the exchange.
+//!
+//! The access pattern is cyclically interleaved with one block slot per
+//! stride left unwritten, so every window is read-modify-write and both
+//! storage lanes (pre-read and write-back) carry traffic.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use crate::harness::Group;
+use crate::schema::{self, Entry};
+use lio_core::{BackendKind, File, Hints, SharedFile};
+use lio_datatype::{Datatype, Field};
+use lio_mpi::World;
+use lio_pfs::{MemFile, Throttle, ThrottledFile};
+
+const SBLOCK: u64 = 4096;
+const NBLOCK: u64 = 64;
+const LAT_US: u64 = 1000;
+
+/// High per-access latency, high bandwidth: op cost is dominated by
+/// latency, as on NFS-class storage. Must sit well above the throttle's
+/// spin-only regime (2× its 100 µs spin tail) so waiting genuinely
+/// yields the CPU and lanes can overlap on few-core hosts.
+fn slow_store() -> Throttle {
+    Throttle {
+        read_bw: 2e9,
+        write_bw: 2e9,
+        latency: Duration::from_micros(LAT_US),
+    }
+}
+
+/// Interleaved filetype over `slots` block slots per stride; with
+/// `slots = nprocs + 1` one slot per stride stays unwritten (RMW).
+fn interleaved_ft(slots: u64) -> Datatype {
+    let block = Datatype::contiguous(SBLOCK, &Datatype::byte()).unwrap();
+    let v = Datatype::vector(NBLOCK, 1, slots as i64, &block).unwrap();
+    let extent = NBLOCK * slots * SBLOCK;
+    Datatype::struct_type(vec![
+        Field {
+            disp: 0,
+            count: 1,
+            child: Datatype::lb_marker(),
+        },
+        Field {
+            disp: 0,
+            count: 1,
+            child: v,
+        },
+        Field {
+            disp: extent as i64,
+            count: 1,
+            child: Datatype::ub_marker(),
+        },
+    ])
+    .unwrap()
+}
+
+/// One collective write of `NBLOCK * SBLOCK` bytes per rank on the given
+/// storage; returns the across-ranks wall time of the collective.
+fn collective_write_on(shared: SharedFile, hints: Hints, nprocs: usize) -> f64 {
+    let span = (NBLOCK * (nprocs as u64 + 1) + 1) * SBLOCK;
+    shared.storage().set_len(span).expect("prefault");
+    World::run(nprocs, move |comm| {
+        let me = comm.rank() as u64;
+        let slots = comm.size() as u64 + 1; // one hole per stride -> RMW
+        let mut f = File::open(comm, shared.clone(), hints).expect("open");
+        f.set_view(me * SBLOCK, Datatype::byte(), interleaved_ft(slots))
+            .expect("set_view");
+        let total = NBLOCK * SBLOCK;
+        let data = vec![me as u8 + 1; total as usize];
+        comm.barrier();
+        let t = Instant::now();
+        f.write_at_all(0, &data, total, &Datatype::byte())
+            .expect("write");
+        comm.barrier();
+        comm.allmax_f64(t.elapsed().as_secs_f64())
+    })[0]
+}
+
+/// The latency-bound configuration the pipeline targets: throttled
+/// in-memory storage.
+fn collective_write(hints: Hints, nprocs: usize) -> f64 {
+    collective_write_on(
+        SharedFile::new(ThrottledFile::new(MemFile::new(), slow_store())),
+        hints,
+        nprocs,
+    )
+}
+
+/// A fresh real-file backend (submission queue over an unlinked temp
+/// file in `LIO_OS_DIR`), one per run so every iteration starts cold.
+fn os_storage() -> SharedFile {
+    SharedFile::for_backend(BackendKind::Os).expect("os backend storage")
+}
+
+fn bench_pipeline_write(entries: &mut Vec<Entry>) {
+    let nprocs = 4;
+    let cb = 32usize << 10;
+    let total = NBLOCK * SBLOCK * nprocs as u64;
+    let mut g = Group::new("pipeline_write");
+    g.sample_size(5);
+    for (engine, ename) in [
+        (Hints::list_based(), "list_based"),
+        (Hints::listless(), "listless"),
+    ] {
+        g.throughput_bytes(total);
+        let s = g.bench(format!("{ename}/off"), || {
+            collective_write(engine.cb_buffer(cb), nprocs);
+        });
+        entries.push(Entry::new(
+            "pipeline_write",
+            format!("{ename}/off"),
+            "wall_ns",
+            s.median_ns,
+            "ns",
+        ));
+        g.throughput_bytes(total);
+        let s = g.bench(format!("{ename}/on"), || {
+            collective_write(
+                engine.cb_buffer(cb).pipelined(true).pipeline_depth(2),
+                nprocs,
+            );
+        });
+        entries.push(Entry::new(
+            "pipeline_write",
+            format!("{ename}/on"),
+            "wall_ns",
+            s.median_ns,
+            "ns",
+        ));
+    }
+    // The real-disk column: the same collective through the `os`
+    // backend's worker threadpool (whole-window batch submission on the
+    // pipelined runs), against a real kernel-backed file.
+    for (engine, ename) in [
+        (Hints::list_based(), "list_based"),
+        (Hints::listless(), "listless"),
+    ] {
+        for (pipe, pname) in [(false, "off"), (true, "on")] {
+            let base = engine.cb_buffer(cb).backend(BackendKind::Os);
+            let hints = if pipe {
+                base.pipelined(true).pipeline_depth(2)
+            } else {
+                base
+            };
+            g.throughput_bytes(total);
+            let s = g.bench(format!("{ename}/os/{pname}"), || {
+                collective_write_on(os_storage(), hints, nprocs);
+            });
+            entries.push(Entry::new(
+                "pipeline_write",
+                format!("{ename}/os/{pname}"),
+                "wall_ns",
+                s.median_ns,
+                "ns",
+            ));
+        }
+    }
+}
+
+/// Instrumented single runs: wall-clock improvement and the overlap
+/// proof, per engine, written to `results/pipeline.csv`.
+fn overlap_proof(entries: &mut Vec<Entry>) {
+    let nprocs = 4;
+    let cb = 32usize << 10;
+    println!(
+        "# pipeline: instrumented collective write, P={nprocs}, cb={cb} B, {LAT_US} us/op storage"
+    );
+    println!(
+        "{:<11} {:<4} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "engine", "pipe", "wall ms", "exch ms", "io ms", "pack ms", "ovlp ms"
+    );
+    let mut csv =
+        String::from("engine,pipeline,wall_ms,exchange_ms,io_ms,pack_ms,overlap_ms,improvement\n");
+    for (base, ename) in [
+        (Hints::list_based(), "list_based"),
+        (Hints::listless(), "listless"),
+    ] {
+        let mut walls = [0f64; 2];
+        for (pipe, hints) in [
+            (false, base.cb_buffer(cb)),
+            (true, base.cb_buffer(cb).pipelined(true).pipeline_depth(2)),
+        ] {
+            lio_obs::reset();
+            lio_obs::set_enabled(true);
+            let wall = collective_write(hints, nprocs);
+            lio_obs::set_enabled(false);
+            let snap = lio_obs::snapshot();
+            let ms = |c: &str| snap.counter(c) as f64 / 1e6;
+            let (exch, io, pack, ovlp) = (
+                ms("core.coll.write.exchange_ns"),
+                ms("core.coll.write.io_ns"),
+                ms("core.coll.write.pack_ns"),
+                ms("core.coll.write.overlap_ns"),
+            );
+            walls[pipe as usize] = wall;
+            let improvement = if pipe {
+                (walls[0] - walls[1]) / walls[0] * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "{:<11} {:<4} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                ename,
+                if pipe { "on" } else { "off" },
+                wall * 1e3,
+                exch,
+                io,
+                pack,
+                ovlp
+            );
+            if pipe {
+                println!(
+                    "  {ename}: wall improved {improvement:.1}% with pipelining \
+                     ({} the >= 20% target)",
+                    if improvement >= 20.0 {
+                        "meets"
+                    } else {
+                        "MISSES"
+                    }
+                );
+            }
+            writeln!(
+                csv,
+                "{ename},{},{:.3},{exch:.3},{io:.3},{pack:.3},{ovlp:.3},{improvement:.1}",
+                if pipe { "on" } else { "off" },
+                wall * 1e3,
+            )
+            .unwrap();
+            let cfg = format!("{ename}/{}", if pipe { "on" } else { "off" });
+            entries.push(Entry::new(
+                "overlap_proof",
+                cfg.clone(),
+                "wall_ns",
+                wall * 1e9,
+                "ns",
+            ));
+            for (metric, v) in [
+                ("exchange_ns", exch),
+                ("io_ns", io),
+                ("pack_ns", pack),
+                ("overlap_ns", ovlp),
+            ] {
+                entries.push(Entry::new(
+                    "overlap_proof",
+                    cfg.clone(),
+                    metric,
+                    v * 1e6,
+                    "ns",
+                ));
+            }
+        }
+    }
+
+    // Single-rank overlap proof: with one rank the exchange is free, so
+    // phases-sum > wall isolates exactly the storage-lane overlap
+    // (`exchange_ns + io_ns > wall` cannot hold without it).
+    for (base, ename) in [
+        (Hints::list_based(), "list_based"),
+        (Hints::listless(), "listless"),
+    ] {
+        lio_obs::reset();
+        lio_obs::set_enabled(true);
+        let wall = collective_write(base.cb_buffer(cb).pipelined(true).pipeline_depth(2), 1);
+        lio_obs::set_enabled(false);
+        let snap = lio_obs::snapshot();
+        let sum_ms = (snap.counter("core.coll.write.exchange_ns")
+            + snap.counter("core.coll.write.io_ns")) as f64
+            / 1e6;
+        let wall_ms = wall * 1e3;
+        println!(
+            "  {ename}: overlap proof (P=1): exchange_ns + io_ns = {sum_ms:.2} ms {} \
+             wall = {wall_ms:.2} ms",
+            if sum_ms > wall_ms {
+                ">"
+            } else {
+                "<= (NO OVERLAP)"
+            }
+        );
+        writeln!(csv, "{ename},proof_p1,{wall_ms:.3},,{sum_ms:.3},,,").unwrap();
+    }
+
+    // cargo runs benches from the package dir; put the CSV in the
+    // workspace-root results/ next to the repro outputs.
+    let dir = schema::workspace_root().join("results");
+    std::fs::create_dir_all(&dir).expect("results dir");
+    std::fs::write(dir.join("pipeline.csv"), &csv).expect("write csv");
+    println!("  -> results/pipeline.csv");
+}
+
+/// Run every section and write the schema-versioned artifact. Called by
+/// both `cargo bench --bench pipeline` and `repro bench`.
+pub fn run() {
+    let mut entries = Vec::new();
+    bench_pipeline_write(&mut entries);
+    overlap_proof(&mut entries);
+    schema::write_bench_json(
+        "BENCH_pipeline.json",
+        &entries,
+        &[(
+            "cores",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .to_string(),
+        )],
+    );
+}

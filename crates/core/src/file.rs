@@ -69,6 +69,34 @@ impl SharedFile {
         }
     }
 
+    /// Open a fresh file on the given storage backend: an in-memory file
+    /// for [`BackendKind::Mem`], the calibrated SX-6 bandwidth model for
+    /// [`BackendKind::Throttled`], and the asynchronous submission-queue
+    /// backend over an unlinked temp file for [`BackendKind::Os`]
+    /// (configured by `LIO_OS_DIR`/`LIO_OS_WORKERS`/`LIO_OS_DEPTH`).
+    /// Only the `Os` backend can fail (temp-file creation).
+    pub fn for_backend(kind: crate::BackendKind) -> std::io::Result<SharedFile> {
+        use crate::BackendKind;
+        Ok(match kind {
+            BackendKind::Mem => SharedFile::new(lio_pfs::MemFile::new()),
+            BackendKind::Throttled => SharedFile::new(lio_pfs::ThrottledFile::new(
+                lio_pfs::MemFile::new(),
+                lio_pfs::Throttle::sx6_local_fs(),
+            )),
+            BackendKind::Os => SharedFile::new(lio_pfs::OsFile::temp()?),
+        })
+    }
+
+    /// [`SharedFile::for_backend`] resolved through a hint set: the
+    /// `backend` hint decides, with the `LIO_BACKEND` environment
+    /// variable overriding either way (see
+    /// [`Hints::effective_backend`](crate::Hints::effective_backend)).
+    /// The result is shared by every rank that opens the file — create
+    /// it once and clone, exactly like a [`SharedFile::new`] handle.
+    pub fn for_hints(hints: &crate::Hints) -> std::io::Result<SharedFile> {
+        SharedFile::for_backend(hints.effective_backend())
+    }
+
     /// The storage backend.
     pub fn storage(&self) -> &Arc<dyn StorageFile> {
         &self.storage

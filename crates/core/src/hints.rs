@@ -36,6 +36,56 @@ pub enum SievingMode {
     Auto,
 }
 
+/// Which storage substrate backs a file opened through the hint path.
+///
+/// The backends are byte-for-byte equivalent by construction (the
+/// cross-backend differential corpus in `tests/backend.rs` pins this);
+/// they differ only in where the bytes live and what the access costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// In-memory file (`lio_pfs::MemFile`) — memcpy-speed storage, the
+    /// paper's "fast file system" regime. The default.
+    #[default]
+    Mem,
+    /// In-memory file behind the calibrated SX-6 local-FS bandwidth model
+    /// (`lio_pfs::ThrottledFile`).
+    Throttled,
+    /// Real OS file served through the asynchronous submission-queue
+    /// backend (`lio_pfs::OsFile` over an unlinked temp file in
+    /// `LIO_OS_DIR`).
+    Os,
+}
+
+impl BackendKind {
+    /// The canonical info-value / env-value name of this backend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Mem => "mem",
+            BackendKind::Throttled => "throttled",
+            BackendKind::Os => "os",
+        }
+    }
+
+    /// Parse a backend name (`mem`, `throttled`, `os`).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.trim() {
+            "mem" | "memory" => Some(BackendKind::Mem),
+            "throttled" => Some(BackendKind::Throttled),
+            "os" => Some(BackendKind::Os),
+            _ => None,
+        }
+    }
+
+    /// The backend selected by the `LIO_BACKEND` environment variable,
+    /// or the default (`Mem`) when unset or unparseable.
+    pub fn from_env() -> BackendKind {
+        std::env::var("LIO_BACKEND")
+            .ok()
+            .and_then(|v| BackendKind::parse(&v))
+            .unwrap_or_default()
+    }
+}
+
 /// A malformed `MPI_Info` value: the key is recognized, but the value
 /// cannot be parsed. Carries enough structure for callers to report or
 /// match on the failing pair instead of string-scraping.
@@ -134,6 +184,11 @@ pub struct Hints {
     /// leaves the process-global setting (and the `LIO_PROFILE`
     /// environment variable) in charge.
     pub profile: Option<bool>,
+    /// Which storage substrate backs files opened through the
+    /// backend-aware open path ([`crate::SharedFile::for_backend`]).
+    /// The `LIO_BACKEND` environment variable overrides this hint (see
+    /// [`Hints::effective_backend`]).
+    pub backend: BackendKind,
 }
 
 impl Hints {
@@ -153,6 +208,7 @@ impl Hints {
             obs: None,
             trace: None,
             profile: None,
+            backend: BackendKind::Mem,
         }
     }
 
@@ -214,6 +270,24 @@ impl Hints {
     pub fn profiling(mut self, on: bool) -> Hints {
         self.profile = Some(on);
         self
+    }
+
+    /// Select the storage backend for backend-aware opens (builder
+    /// style). The `LIO_BACKEND` environment variable overrides this
+    /// either way (see [`Hints::effective_backend`]).
+    pub fn backend(mut self, kind: BackendKind) -> Hints {
+        self.backend = kind;
+        self
+    }
+
+    /// The backend this open should use, honoring the `LIO_BACKEND`
+    /// environment override (`mem`, `throttled`, `os`; anything
+    /// unparseable or unset defers to the `backend` hint).
+    pub fn effective_backend(&self) -> BackendKind {
+        match std::env::var("LIO_BACKEND") {
+            Ok(v) => BackendKind::parse(&v).unwrap_or(self.backend),
+            Err(_) => self.backend,
+        }
     }
 
     /// Enable or disable the pipelined two-phase path (builder style).
@@ -368,7 +442,8 @@ impl Hints {
     /// (windows in flight, ≥ 1), `pack_threads` (sharded pack/unpack
     /// workers; 0 = auto), `pack_kernel` (`auto`/`scalar`/`fixed`/
     /// `sse2`/`avx2` — pack-kernel family for compiled run programs),
-    /// `lio_obs` (`enable`/`disable` — force
+    /// `backend` (`mem`/`throttled`/`os` — storage substrate for
+    /// backend-aware opens), `lio_obs` (`enable`/`disable` — force
     /// metrics recording at open), `lio_trace` (`enable`/`disable` —
     /// force event tracing at open).
     ///
@@ -454,6 +529,10 @@ impl Hints {
                         HintError::new(k, v, "expected auto, scalar, fixed, sse2, or avx2")
                     })?);
                 }
+                "backend" => {
+                    self.backend = BackendKind::parse(v)
+                        .ok_or_else(|| HintError::new(k, v, "expected mem, throttled, or os"))?;
+                }
                 "lio_obs" => {
                     self.obs = match v {
                         "enable" | "true" | "1" => Some(true),
@@ -535,6 +614,7 @@ impl Hints {
                 self.pipeline_depth.to_string(),
             ),
             ("pack_threads".to_string(), self.pack_threads.to_string()),
+            ("backend".to_string(), self.backend.name().to_string()),
         ];
         if let Some(mode) = self.pack_kernel {
             pairs.push(("pack_kernel".to_string(), mode.name().to_string()));
@@ -719,6 +799,42 @@ mod info_tests {
             .apply_info(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
             .unwrap();
         assert_eq!(back.profile, Some(true));
+    }
+
+    #[test]
+    fn backend_info_key() {
+        assert_eq!(Hints::default().backend, BackendKind::Mem);
+        let h = Hints::default().apply_info([("backend", "os")]).unwrap();
+        assert_eq!(h.backend, BackendKind::Os);
+        let h = Hints::default()
+            .apply_info([("backend", "throttled")])
+            .unwrap();
+        assert_eq!(h.backend, BackendKind::Throttled);
+        assert!(Hints::default().apply_info([("backend", "cloud")]).is_err());
+        // always emitted, round-trips
+        let pairs = Hints::default().backend(BackendKind::Os).to_info();
+        assert!(pairs.iter().any(|(k, v)| k == "backend" && v == "os"));
+        let back = Hints::list_based()
+            .apply_info(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+            .unwrap();
+        assert_eq!(back.backend, BackendKind::Os);
+    }
+
+    #[test]
+    fn backend_env_defers_to_hint() {
+        if std::env::var("LIO_BACKEND").is_ok() {
+            return; // the env override legitimately wins
+        }
+        assert_eq!(Hints::default().effective_backend(), BackendKind::Mem);
+        assert_eq!(
+            Hints::default()
+                .backend(BackendKind::Os)
+                .effective_backend(),
+            BackendKind::Os
+        );
+        assert_eq!(BackendKind::parse("memory"), Some(BackendKind::Mem));
+        assert_eq!(BackendKind::parse("nvme"), None);
+        assert_eq!(BackendKind::Os.name(), "os");
     }
 
     #[test]

@@ -49,5 +49,5 @@ pub mod view;
 
 pub use error::{IoError, Result};
 pub use file::{File, SharedFile};
-pub use hints::{Engine, HintError, Hints, PackKernel, SievingMode};
+pub use hints::{BackendKind, Engine, HintError, Hints, PackKernel, SievingMode};
 pub use view::FileView;

@@ -30,14 +30,14 @@
 //! independently, how many bytes each AP contributes to each window, so
 //! no per-window metadata is exchanged — window messages are pure data.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::time::Duration;
 
 use lio_mpi::Comm;
 use lio_obs::{LazyCounter, LazyGauge};
-use lio_pfs::StorageFile;
+use lio_pfs::{SqBuf, Sqe, StorageFile, SubmissionQueue};
 
 use crate::error::{IoError, Result};
 use crate::hints::{Engine, Hints};
@@ -573,7 +573,14 @@ enum LaneDone {
     },
 }
 
-/// Spawn the pre-read lane inside `scope`. Jobs complete in FIFO order.
+/// Spawn the pre-read lane inside `scope`.
+///
+/// Backends that expose a [`SubmissionQueue`] get the ring variant:
+/// every job is submitted the moment it arrives (whole-window batch
+/// submission — the queue's depth bound is the only backpressure) and a
+/// harvester forwards completions *in device order*. Consumers
+/// seq-match, so reordering is fine. Synchronous backends get the
+/// classic one-thread lane, whose completions are FIFO.
 fn spawn_read_lane<'scope>(
     scope: &'scope std::thread::Scope<'scope, '_>,
     storage: &'scope dyn StorageFile,
@@ -581,6 +588,10 @@ fn spawn_read_lane<'scope>(
     done: Sender<LaneDone>,
     io_ns: &'scope AtomicU64,
 ) {
+    if let Some(queue) = storage.submission() {
+        spawn_ring_lane(scope, queue, rx, done, io_ns, false);
+        return;
+    }
     let th = lio_obs::trace::thread_handle();
     scope.spawn(move || {
         lio_obs::trace::adopt(th);
@@ -610,7 +621,8 @@ fn spawn_read_lane<'scope>(
     });
 }
 
-/// Spawn the write-back lane inside `scope`.
+/// Spawn the write-back lane inside `scope` (ring variant when the
+/// backend exposes a [`SubmissionQueue`]; see [`spawn_read_lane`]).
 fn spawn_write_lane<'scope>(
     scope: &'scope std::thread::Scope<'scope, '_>,
     storage: &'scope dyn StorageFile,
@@ -618,6 +630,10 @@ fn spawn_write_lane<'scope>(
     done: Sender<LaneDone>,
     io_ns: &'scope AtomicU64,
 ) {
+    if let Some(queue) = storage.submission() {
+        spawn_ring_lane(scope, queue, rx, done, io_ns, true);
+        return;
+    }
     let th = lio_obs::trace::thread_handle();
     scope.spawn(move || {
         lio_obs::trace::adopt(th);
@@ -633,6 +649,83 @@ fn spawn_write_lane<'scope>(
                 Ordering::Relaxed,
             );
             if done.send(LaneDone::Write { buf: job.buf, res }).is_err() {
+                break;
+            }
+        }
+    });
+}
+
+/// The submission-queue storage lane: a submitter thread pushes every
+/// arriving job straight onto the backend's ring (the window seq is the
+/// submission token), and a harvester thread turns completions — in
+/// whatever order the device produces them — back into [`LaneDone`]s.
+///
+/// Window buffers travel through the ring as [`SqBuf::Owned`] and come
+/// back at full capacity (the queue never truncates), which the engines'
+/// buffer recycling depends on. Short reads are EOF by the queue's
+/// contract, so the harvester zero-fills the tail exactly like the
+/// synchronous lane's `read_window`. `io_ns` books the device service
+/// time reported per completion, keeping the overlap accounting
+/// comparable with the synchronous lanes.
+fn spawn_ring_lane<'scope>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    queue: &'scope SubmissionQueue,
+    rx: Receiver<Job>,
+    done: Sender<LaneDone>,
+    io_ns: &'scope AtomicU64,
+    write: bool,
+) {
+    let (cq_tx, cq_rx) = mpsc::channel();
+    let th = lio_obs::trace::thread_handle();
+    scope.spawn(move || {
+        lio_obs::trace::adopt(th);
+        for job in rx.iter() {
+            let name = if write {
+                "io.submit.write"
+            } else {
+                "io.submit.read"
+            };
+            let _sp = lio_obs::trace::span_ab(name, job.off, job.len as u64);
+            let sqe = if write {
+                Sqe::write(job.seq, job.off, SqBuf::Owned(job.buf), job.len)
+            } else {
+                Sqe::read(job.seq, job.off, SqBuf::Owned(job.buf), job.len)
+            };
+            queue.submit(sqe, &cq_tx);
+        }
+        // cq_tx drops here; the harvester exits once in-flight entries
+        // have all completed.
+    });
+    let th = lio_obs::trace::thread_handle();
+    scope.spawn(move || {
+        lio_obs::trace::adopt(th);
+        for cqe in cq_rx.iter() {
+            io_ns.fetch_add(cqe.service_ns, Ordering::Relaxed);
+            let mut buf = cqe
+                .buf
+                .expect("ring completions return their buffer")
+                .into_owned()
+                .expect("the lane submits owned buffers");
+            let d = if write {
+                LaneDone::Write {
+                    buf,
+                    res: cqe.result.map(|_| ()).map_err(IoError::from),
+                }
+            } else {
+                let res = match cqe.result {
+                    Ok(n) => {
+                        buf[n..cqe.len].fill(0); // past EOF reads as zeros
+                        Ok(())
+                    }
+                    Err(e) => Err(IoError::from(e)),
+                };
+                LaneDone::Read {
+                    seq: cqe.token,
+                    buf,
+                    res,
+                }
+            };
+            if done.send(d).is_err() {
                 break;
             }
         }
@@ -1126,6 +1219,8 @@ pub(crate) fn read_at_all(
                 let mut free_bufs: Vec<Vec<u8>> = Vec::new();
                 let mut bufs_allocated = 0usize;
                 let mut next_seq = 0u64;
+                let mut front_seq = 0u64;
+                let mut pending: HashMap<u64, (Vec<u8>, Result<()>)> = HashMap::new();
                 let mut planner_done = false;
                 loop {
                     while !planner_done && queue.len() < depth {
@@ -1169,14 +1264,25 @@ pub(crate) fn read_at_all(
                     let Some(plan) = queue.pop_front() else {
                         break;
                     };
-                    // The lane is FIFO, so the next completion is the front.
-                    let t = lio_obs::now();
-                    let sp = lio_obs::trace::span("io.wait");
-                    let done = done_rx.recv().expect("read lane alive");
-                    drop(sp);
-                    io_wait_ns += lio_obs::elapsed_ns(t);
-                    let LaneDone::Read { buf, res, .. } = done else {
-                        unreachable!("read pipeline has no write lane");
+                    // Plans were submitted in seq order, but the lane may
+                    // complete them out of order (the submission-queue
+                    // backend harvests in device order): buffer strays
+                    // until the front window's own completion lands.
+                    let seq = front_seq;
+                    front_seq += 1;
+                    let (buf, res) = loop {
+                        if let Some(hit) = pending.remove(&seq) {
+                            break hit;
+                        }
+                        let t = lio_obs::now();
+                        let sp = lio_obs::trace::span("io.wait");
+                        let done = done_rx.recv().expect("read lane alive");
+                        drop(sp);
+                        io_wait_ns += lio_obs::elapsed_ns(t);
+                        let LaneDone::Read { seq: got, buf, res } = done else {
+                            unreachable!("read pipeline has no write lane");
+                        };
+                        pending.insert(got, (buf, res));
                     };
                     if let Err(e) = res {
                         fatal.get_or_insert(e);

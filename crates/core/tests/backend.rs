@@ -1,0 +1,191 @@
+//! Cross-backend differential corpus: the in-memory backend and the
+//! real-file submission-queue backend must be *byte-identical* — same
+//! final file contents, same collective read-backs — across engines,
+//! world sizes, and the pipelined/monolithic paths.
+//!
+//! Every assertion carries a replay line (environment + command) so a
+//! failing configuration reproduces from the message alone, the same
+//! convention the fault corpus uses with `LIO_FAULT_SEED`.
+
+mod common;
+
+use common::{pattern, reference_write, storage_for_backend};
+use lio_core::{BackendKind, Engine, File, Hints};
+use lio_datatype::{Datatype, Field};
+use lio_mpi::World;
+use std::sync::{Arc, Mutex};
+
+/// The noncontig benchmark's fileview for rank p of P: an LB/vector/UB
+/// struct with disp = p·blocklen, stride = P·blocklen.
+fn noncontig_view(p: u64, nprocs: u64, nblock: u64, sblock: u64) -> (u64, Datatype) {
+    let block = Datatype::contiguous(sblock, &Datatype::byte()).unwrap();
+    let v = Datatype::vector(nblock, 1, nprocs as i64, &block).unwrap();
+    let extent = nblock * nprocs * sblock;
+    let ft = Datatype::struct_type(vec![
+        Field {
+            disp: 0,
+            count: 1,
+            child: Datatype::lb_marker(),
+        },
+        Field {
+            disp: 0,
+            count: 1,
+            child: v,
+        },
+        Field {
+            disp: extent as i64,
+            count: 1,
+            child: Datatype::ub_marker(),
+        },
+    ])
+    .unwrap();
+    (p * sblock, ft)
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    engine: Engine,
+    pipelined: bool,
+    nprocs: u64,
+    nblock: u64,
+    sblock: u64,
+    cb: usize,
+}
+
+impl Config {
+    /// One line that reproduces this configuration from a shell.
+    fn replay(&self, test: &str) -> String {
+        format!(
+            "replay: LIO_PIPELINE={} cargo test -q -p lio-core --test backend -- {test} \
+             [engine={:?} ranks={} nblock={} sblock={} cb={}]",
+            self.pipelined as u8, self.engine, self.nprocs, self.nblock, self.sblock, self.cb
+        )
+    }
+}
+
+/// Run the interleaved collective write + read-back on one backend.
+/// Returns the final raw file bytes and each rank's read-back.
+fn run_on(kind: BackendKind, cfg: Config) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let (shared, snap) = storage_for_backend(kind);
+    let shared2 = shared.clone();
+    let reads: Arc<Mutex<Vec<Vec<u8>>>> =
+        Arc::new(Mutex::new(vec![Vec::new(); cfg.nprocs as usize]));
+    let reads2 = Arc::clone(&reads);
+    World::run(cfg.nprocs as usize, move |comm| {
+        let me = comm.rank() as u64;
+        let hints = Hints::with_engine(cfg.engine)
+            .pipelined(cfg.pipelined)
+            .cb_buffer(cfg.cb)
+            .backend(kind);
+        let (disp, ft) = noncontig_view(me, cfg.nprocs, cfg.nblock, cfg.sblock);
+        let mut f = File::open(comm, shared2.clone(), hints).unwrap();
+        f.set_view(disp, Datatype::byte(), ft).unwrap();
+        let data = pattern((cfg.nblock * cfg.sblock) as usize, me + 1);
+        let n = f
+            .write_at_all(0, &data, data.len() as u64, &Datatype::byte())
+            .unwrap();
+        assert_eq!(n, cfg.nblock * cfg.sblock);
+        let mut back = vec![0u8; data.len()];
+        let blen = back.len() as u64;
+        let n = f
+            .read_at_all(0, &mut back, blen, &Datatype::byte())
+            .unwrap();
+        assert_eq!(n, cfg.nblock * cfg.sblock);
+        reads2.lock().unwrap()[me as usize] = back;
+    });
+    let contents = snap.snapshot();
+    let reads = Arc::try_unwrap(reads).unwrap().into_inner().unwrap();
+    (contents, reads)
+}
+
+/// The ground truth the reference implementation predicts.
+fn reference(cfg: Config) -> Vec<u8> {
+    let mut want = Vec::new();
+    for p in 0..cfg.nprocs {
+        let (disp, ft) = noncontig_view(p, cfg.nprocs, cfg.nblock, cfg.sblock);
+        let data = pattern((cfg.nblock * cfg.sblock) as usize, p + 1);
+        reference_write(&mut want, disp, &ft, 0, &data);
+    }
+    want
+}
+
+/// The differential assertion: mem and os agree with each other *and*
+/// with the reference, and every rank reads its own data back on both.
+fn assert_equivalent(cfg: Config, test: &str) {
+    let replay = cfg.replay(test);
+    let (mem_file, mem_reads) = run_on(BackendKind::Mem, cfg);
+    let (os_file, os_reads) = run_on(BackendKind::Os, cfg);
+    let mut want = reference(cfg);
+    let n = mem_file.len().max(os_file.len()).max(want.len());
+    let pad = |mut v: Vec<u8>| {
+        v.resize(n, 0);
+        v
+    };
+    let (mem_file, os_file) = (pad(mem_file), pad(os_file));
+    want = pad(want);
+    assert_eq!(
+        mem_file, want,
+        "mem backend diverges from reference\n{replay}"
+    );
+    assert_eq!(
+        os_file, want,
+        "os backend diverges from reference\n{replay}"
+    );
+    assert_eq!(mem_file, os_file, "backends diverge\n{replay}");
+    for p in 0..cfg.nprocs as usize {
+        let data = pattern((cfg.nblock * cfg.sblock) as usize, p as u64 + 1);
+        assert_eq!(mem_reads[p], data, "mem read-back, rank {p}\n{replay}");
+        assert_eq!(os_reads[p], data, "os read-back, rank {p}\n{replay}");
+    }
+}
+
+fn corpus(nprocs: u64, nblock: u64, sblock: u64, cb: usize, test: &str) {
+    for engine in [Engine::ListBased, Engine::Listless] {
+        for pipelined in [false, true] {
+            assert_equivalent(
+                Config {
+                    engine,
+                    pipelined,
+                    nprocs,
+                    nblock,
+                    sblock,
+                    cb,
+                },
+                test,
+            );
+        }
+    }
+}
+
+#[test]
+fn backends_agree_1_rank() {
+    corpus(1, 16, 32, 1024, "backends_agree_1_rank");
+}
+
+#[test]
+fn backends_agree_2_ranks() {
+    corpus(2, 16, 16, 512, "backends_agree_2_ranks");
+}
+
+#[test]
+fn backends_agree_4_ranks() {
+    corpus(4, 24, 8, 512, "backends_agree_4_ranks");
+}
+
+#[test]
+fn backends_agree_7_ranks() {
+    corpus(7, 12, 16, 768, "backends_agree_7_ranks");
+}
+
+#[test]
+fn backends_agree_unaligned_blocks() {
+    // Odd block size and displacement: every submission-queue window has
+    // unaligned head/tail fragments, exercising the staged-buffer path.
+    corpus(4, 20, 7, 256, "backends_agree_unaligned_blocks");
+}
+
+#[test]
+fn backends_agree_window_smaller_than_block() {
+    // cb below one interleave stripe forces many tiny windows per IOP.
+    corpus(2, 32, 24, 96, "backends_agree_window_smaller_than_block");
+}

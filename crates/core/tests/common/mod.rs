@@ -3,32 +3,91 @@
 //! Shared test helpers: a deliberately naive reference implementation of
 //! viewed file access, used to differentially test both engines.
 
-use lio_core::SharedFile;
+use lio_core::{BackendKind, SharedFile};
 use lio_datatype::typemap::{expand, reference_pack};
 use lio_datatype::Datatype;
 use lio_pfs::decorate::FaultyFile;
-use lio_pfs::MemFile;
+use lio_pfs::{MemFile, StorageFile};
 use std::sync::Arc;
 
-/// Empty test storage honoring `LIO_FAULT_SEED`: when the variable is
-/// set, the shared handle injects that seed's storage fault schedule
-/// ([`lio_testkit::fault_plan`]); either way the returned [`MemFile`] is
-/// an injection-free handle for byte-exact snapshots.
-pub fn test_storage() -> (SharedFile, Arc<MemFile>) {
+/// An injection-free handle on the raw device beneath whatever stack
+/// [`test_storage`] built (fault decorator, submission queue, ...), for
+/// byte-exact snapshots regardless of the selected backend.
+pub struct SnapHandle(Arc<dyn StorageFile>);
+
+impl SnapHandle {
+    /// The entire current file contents.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let len = self.0.len() as usize;
+        let mut out = vec![0u8; len];
+        if len > 0 {
+            let n = lio_pfs::retry::read_full_at(&*self.0, 0, &mut out).expect("snapshot read");
+            assert_eq!(n, len, "snapshot read must reach EOF");
+        }
+        out
+    }
+}
+
+/// Empty test storage honoring the backend and fault environment:
+///
+/// * `LIO_BACKEND` selects the substrate — `mem` (default) builds over a
+///   [`MemFile`], `os` over the real-file submission-queue backend
+///   ([`lio_pfs::OsFile`] on an unlinked temp file), `throttled` over
+///   the calibrated bandwidth model — so the whole differential corpus
+///   reruns unchanged against real storage;
+/// * `LIO_FAULT_SEED` injects that seed's storage fault schedule
+///   ([`lio_testkit::fault_plan`]) *beneath* the backend stack (for the
+///   `os` backend that means inside the worker threadpool's retry path).
+///
+/// The returned [`SnapHandle`] bypasses both for byte-exact snapshots.
+pub fn test_storage() -> (SharedFile, SnapHandle) {
     test_storage_with(Vec::new())
 }
 
 /// [`test_storage`] over pre-existing file contents.
-pub fn test_storage_with(data: Vec<u8>) -> (SharedFile, Arc<MemFile>) {
-    let mem = Arc::new(MemFile::with_data(data));
-    let shared = match lio_testkit::env_seed() {
-        Some(seed) => SharedFile::new(FaultyFile::new(
-            Arc::clone(&mem),
+pub fn test_storage_with(data: Vec<u8>) -> (SharedFile, SnapHandle) {
+    storage_stack(BackendKind::from_env(), data, lio_testkit::env_seed())
+}
+
+/// Build a fresh storage stack over an *explicitly chosen* backend (no
+/// environment involved), for the cross-backend differential corpus.
+pub fn storage_for_backend(kind: BackendKind) -> (SharedFile, SnapHandle) {
+    storage_stack(kind, Vec::new(), None)
+}
+
+fn storage_stack(
+    backend: BackendKind,
+    data: Vec<u8>,
+    fault_seed: Option<u64>,
+) -> (SharedFile, SnapHandle) {
+    let raw: Arc<dyn StorageFile> = match backend {
+        BackendKind::Os => {
+            Arc::new(lio_pfs::os::temp_unix().expect("temp file for the os backend"))
+        }
+        _ => Arc::new(MemFile::new()),
+    };
+    if !data.is_empty() {
+        lio_pfs::retry::write_full_at(&*raw, 0, &data).expect("pre-populate storage");
+    }
+    let device: Arc<dyn StorageFile> = match fault_seed {
+        Some(seed) => Arc::new(FaultyFile::new(
+            Arc::clone(&raw),
             lio_testkit::fault_plan(seed),
         )),
-        None => SharedFile::from_arc(Arc::clone(&mem) as Arc<dyn lio_pfs::StorageFile>),
+        None => Arc::clone(&raw),
     };
-    (shared, mem)
+    let shared = match backend {
+        BackendKind::Os => SharedFile::new(lio_pfs::OsFile::over_arc(
+            device,
+            lio_pfs::OsConfig::from_env(),
+        )),
+        BackendKind::Throttled => SharedFile::new(lio_pfs::ThrottledFile::new(
+            device,
+            lio_pfs::Throttle::sx6_local_fs(),
+        )),
+        BackendKind::Mem => SharedFile::from_arc(device),
+    };
+    (shared, SnapHandle(raw))
 }
 
 /// Arm the rank-local communication fault schedule when `LIO_FAULT_SEED`

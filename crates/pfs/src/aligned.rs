@@ -1,0 +1,333 @@
+//! Alignment-aware buffer management for the real-storage backend.
+//!
+//! Kernel I/O paths reward block-aligned transfers: page-cache copies are
+//! cheapest when they start on page boundaries, and an eventual
+//! `O_DIRECT`/io_uring backend *requires* sector alignment on both the
+//! file offset and the user memory. This module supplies the two pieces
+//! the submission path needs:
+//!
+//! * [`AlignedBuf`] — a heap buffer whose starting address is aligned,
+//!   pooled by [`AlignedPool`] so unaligned-fragment staging does not
+//!   allocate per call;
+//! * [`split_for_alignment`] — the planner that chops one logical
+//!   transfer into an (optional) unaligned head fragment, a run of
+//!   aligned body segments capped at `max_seg` bytes, and an (optional)
+//!   unaligned tail fragment. Aligned body segments can be submitted
+//!   zero-copy straight from the user buffer; the fragments go through a
+//!   staged [`AlignedBuf`].
+
+/// Round `x` down to a multiple of `align` (a power of two).
+pub fn align_down(x: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    x & !(align - 1)
+}
+
+/// Round `x` up to a multiple of `align` (a power of two).
+pub fn align_up(x: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (x + align - 1) & !(align - 1)
+}
+
+/// One piece of a transfer planned by [`split_for_alignment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Absolute file offset of this segment.
+    pub off: u64,
+    /// Offset of this segment's bytes inside the caller's buffer.
+    pub buf_off: usize,
+    /// Segment length in bytes.
+    pub len: usize,
+    /// Whether both `off` and `len` are alignment-multiples (eligible for
+    /// zero-copy submission straight from the user buffer).
+    pub aligned: bool,
+}
+
+/// Plan the transfer `[offset, offset + len)` as head fragment + aligned
+/// body segments (each at most `max_seg` bytes, `max_seg` itself rounded
+/// down to an alignment multiple) + tail fragment.
+///
+/// Invariants (checked by tests): segments are contiguous, in ascending
+/// offset order, cover exactly `[offset, offset + len)`, and at most the
+/// first and last are unaligned. A zero-length transfer yields no
+/// segments; a transfer smaller than one alignment block yields a single
+/// unaligned segment.
+pub fn split_for_alignment(offset: u64, len: usize, align: usize, max_seg: usize) -> Vec<Segment> {
+    debug_assert!(align.is_power_of_two() && align > 0);
+    let max_seg = align_down(max_seg.max(align) as u64, align as u64) as usize;
+    if len == 0 {
+        return Vec::new();
+    }
+    let end = offset + len as u64;
+    let body_lo = align_up(offset, align as u64);
+    let body_hi = align_down(end, align as u64);
+    let mut segs = Vec::new();
+    if body_lo >= body_hi {
+        // No aligned body at all: the whole transfer is one fragment.
+        segs.push(Segment {
+            off: offset,
+            buf_off: 0,
+            len,
+            aligned: false,
+        });
+        return segs;
+    }
+    if offset < body_lo {
+        segs.push(Segment {
+            off: offset,
+            buf_off: 0,
+            len: (body_lo - offset) as usize,
+            aligned: false,
+        });
+    }
+    let mut at = body_lo;
+    while at < body_hi {
+        let take = ((body_hi - at) as usize).min(max_seg);
+        segs.push(Segment {
+            off: at,
+            buf_off: (at - offset) as usize,
+            len: take,
+            aligned: true,
+        });
+        at += take as u64;
+    }
+    if body_hi < end {
+        segs.push(Segment {
+            off: body_hi,
+            buf_off: (body_hi - offset) as usize,
+            len: (end - body_hi) as usize,
+            aligned: false,
+        });
+    }
+    segs
+}
+
+/// A heap buffer whose starting address is aligned to a fixed power of
+/// two. Used to stage unaligned head/tail fragments so the device only
+/// ever sees alignment-friendly memory, and ready for an `O_DIRECT`
+/// backend that would make the alignment mandatory.
+pub struct AlignedBuf {
+    ptr: std::ptr::NonNull<u8>,
+    len: usize,
+    align: usize,
+}
+
+// The buffer is exclusively owned heap memory.
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    /// Allocate a zeroed buffer of `len` bytes aligned to `align` (a
+    /// power of two, at least 1; `len` must be non-zero).
+    pub fn new(len: usize, align: usize) -> AlignedBuf {
+        assert!(align.is_power_of_two());
+        assert!(len > 0, "zero-length aligned buffers are not allocatable");
+        let layout = std::alloc::Layout::from_size_align(len, align).expect("valid layout");
+        // SAFETY: layout has non-zero size.
+        let raw = unsafe { std::alloc::alloc_zeroed(layout) };
+        let ptr = match std::ptr::NonNull::new(raw) {
+            Some(p) => p,
+            None => std::alloc::handle_alloc_error(layout),
+        };
+        AlignedBuf { ptr, len, align }
+    }
+
+    /// Buffer length in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The alignment this buffer was allocated with.
+    pub fn align(&self) -> usize {
+        self.align
+    }
+
+    /// The contents as a byte slice.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr is valid for len bytes and exclusively owned.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// The contents as a mutable byte slice.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: ptr is valid for len bytes and exclusively owned.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        let layout =
+            std::alloc::Layout::from_size_align(self.len, self.align).expect("valid layout");
+        // SAFETY: allocated in `new` with this exact layout.
+        unsafe { std::alloc::dealloc(self.ptr.as_ptr(), layout) };
+    }
+}
+
+impl std::fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedBuf(len={}, align={})", self.len, self.align)
+    }
+}
+
+/// A small free-list of [`AlignedBuf`]s of one alignment class, so the
+/// per-call head/tail staging of a hot submission path reuses memory
+/// instead of hitting the allocator.
+pub struct AlignedPool {
+    align: usize,
+    free: std::sync::Mutex<Vec<AlignedBuf>>,
+    /// Cap on pooled buffers; excess returns fall through to dealloc.
+    max_pooled: usize,
+}
+
+impl AlignedPool {
+    /// A pool handing out buffers aligned to `align`.
+    pub fn new(align: usize) -> AlignedPool {
+        AlignedPool {
+            align,
+            free: std::sync::Mutex::new(Vec::new()),
+            max_pooled: 16,
+        }
+    }
+
+    /// Get a buffer with at least `len` bytes (its `len()` may be
+    /// larger). Prefers a pooled buffer; allocates one whole alignment
+    /// block minimum otherwise.
+    pub fn get(&self, len: usize) -> AlignedBuf {
+        let want = align_up(len.max(1) as u64, self.align as u64) as usize;
+        let mut free = self.free.lock().unwrap();
+        if let Some(i) = free.iter().position(|b| b.len() >= want) {
+            return free.swap_remove(i);
+        }
+        drop(free);
+        AlignedBuf::new(want, self.align)
+    }
+
+    /// Return a buffer to the pool.
+    pub fn put(&self, buf: AlignedBuf) {
+        if buf.align() != self.align {
+            return; // someone else's buffer; just drop it
+        }
+        let mut free = self.free.lock().unwrap();
+        if free.len() < self.max_pooled {
+            free.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled (test/diagnostic helper).
+    pub fn pooled(&self) -> usize {
+        self.free.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover(segs: &[Segment], offset: u64, len: usize) {
+        let mut at = offset;
+        let mut buf_at = 0usize;
+        for s in segs {
+            assert_eq!(s.off, at, "segments must be contiguous");
+            assert_eq!(s.buf_off, buf_at, "buffer offsets must track file offsets");
+            assert!(s.len > 0, "no empty segments");
+            at += s.len as u64;
+            buf_at += s.len;
+        }
+        assert_eq!(at, offset + len as u64, "segments must cover the transfer");
+        assert_eq!(buf_at, len);
+    }
+
+    #[test]
+    fn split_aligned_transfer_is_all_aligned() {
+        let segs = split_for_alignment(8192, 16384, 4096, 1 << 20);
+        check_cover(&segs, 8192, 16384);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].aligned);
+    }
+
+    #[test]
+    fn split_unaligned_head_and_tail() {
+        let segs = split_for_alignment(100, 9000, 4096, 1 << 20);
+        check_cover(&segs, 100, 9000);
+        assert_eq!(segs.len(), 3);
+        assert!(!segs[0].aligned);
+        assert_eq!(segs[0].len, 4096 - 100);
+        assert!(segs[1].aligned);
+        assert_eq!(segs[1].off % 4096, 0);
+        assert!(!segs[2].aligned);
+        assert_eq!(segs[2].off, 8192);
+    }
+
+    #[test]
+    fn split_small_transfer_is_one_fragment() {
+        let segs = split_for_alignment(5, 10, 4096, 1 << 20);
+        check_cover(&segs, 5, 10);
+        assert_eq!(segs.len(), 1);
+        assert!(!segs[0].aligned);
+        // even a block-sized transfer that straddles a boundary
+        let segs = split_for_alignment(2048, 4096, 4096, 1 << 20);
+        check_cover(&segs, 2048, 4096);
+        assert!(segs.iter().all(|s| !s.aligned));
+    }
+
+    #[test]
+    fn split_zero_length_is_empty() {
+        assert!(split_for_alignment(123, 0, 4096, 1 << 20).is_empty());
+    }
+
+    #[test]
+    fn split_body_respects_max_seg() {
+        let segs = split_for_alignment(0, 10 << 20, 4096, 1 << 20);
+        check_cover(&segs, 0, 10 << 20);
+        assert_eq!(segs.len(), 10);
+        assert!(segs.iter().all(|s| s.aligned && s.len <= 1 << 20));
+        // a max_seg below the alignment is rounded up to one block
+        let segs = split_for_alignment(0, 8192, 4096, 100);
+        check_cover(&segs, 0, 8192);
+        assert_eq!(segs.len(), 2);
+    }
+
+    #[test]
+    fn aligned_buf_is_aligned_and_zeroed() {
+        for align in [16usize, 512, 4096] {
+            let b = AlignedBuf::new(1000, align);
+            assert_eq!(b.as_slice().as_ptr() as usize % align, 0);
+            assert!(b.as_slice().iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    fn aligned_buf_read_write() {
+        let mut b = AlignedBuf::new(64, 64);
+        b.as_mut_slice()[..5].copy_from_slice(b"hello");
+        assert_eq!(&b.as_slice()[..5], b"hello");
+        assert_eq!(b.len(), 64);
+    }
+
+    #[test]
+    fn pool_reuses_buffers() {
+        let pool = AlignedPool::new(4096);
+        let b = pool.get(100);
+        assert_eq!(b.len(), 4096); // rounded to one block
+        let p0 = b.as_slice().as_ptr();
+        pool.put(b);
+        assert_eq!(pool.pooled(), 1);
+        let b2 = pool.get(50);
+        assert_eq!(
+            b2.as_slice().as_ptr(),
+            p0,
+            "pool must hand back the pooled buffer"
+        );
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn pool_allocates_when_too_small() {
+        let pool = AlignedPool::new(4096);
+        pool.put(AlignedBuf::new(4096, 4096));
+        let big = pool.get(8192);
+        assert!(big.len() >= 8192);
+        assert_eq!(pool.pooled(), 1, "undersized pooled buffer stays pooled");
+    }
+}

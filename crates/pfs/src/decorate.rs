@@ -1,4 +1,15 @@
 //! Storage-file decorators: throttling, statistics, and fault injection.
+//!
+//! Decorators present a **synchronous facade**: each counts, throttles,
+//! or perturbs exactly the call that passes through it, attributing the
+//! effect to the calling thread. They therefore do not forward
+//! [`StorageFile::submission`] — wrapping an asynchronous backend (e.g.
+//! [`crate::OsFile`]) hides its queue, so every access is funnelled
+//! through the blocking positional path where the decorator's accounting
+//! is well defined. A decorator *beneath* the queue (as the device the
+//! workers call) decorates the worker-side accesses instead, which is
+//! how the fault plans reach the worker threadpool's retry path. The
+//! async-completion conformance tests pin both arrangements.
 
 use std::io;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};

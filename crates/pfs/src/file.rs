@@ -34,6 +34,17 @@ pub trait StorageFile: Send + Sync {
 
     /// Flush any caches to stable storage.
     fn sync(&self) -> io::Result<()>;
+
+    /// The asynchronous submission queue behind this file, if it has
+    /// one. Consumers that understand the queue (the pipelined
+    /// collective engine's storage lanes) submit whole batches and
+    /// harvest completions out of order instead of going through the
+    /// blocking positional methods. Decorators deliberately do *not*
+    /// forward this: their accounting assumes the synchronous facade
+    /// (see [`crate::decorate`]).
+    fn submission(&self) -> Option<&crate::squeue::SubmissionQueue> {
+        None
+    }
 }
 
 impl<F: StorageFile + ?Sized> StorageFile for Arc<F> {
@@ -51,6 +62,9 @@ impl<F: StorageFile + ?Sized> StorageFile for Arc<F> {
     }
     fn sync(&self) -> io::Result<()> {
         (**self).sync()
+    }
+    fn submission(&self) -> Option<&crate::squeue::SubmissionQueue> {
+        (**self).submission()
     }
 }
 

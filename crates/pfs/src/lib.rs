@@ -15,22 +15,32 @@
 //! * [`FaultyFile`] — seeded deterministic fault injection (short
 //!   transfers, transient errors, torn writes, flush failures), with the
 //!   bounded recovery loops in [`retry`];
+//! * [`OsFile`] — the real-storage backend: an asynchronous
+//!   [`SubmissionQueue`]/completion-queue pair (io_uring-shaped; see
+//!   [`squeue`]) served by a worker threadpool over any device, with
+//!   alignment-aware segment planning and staged buffers ([`aligned`]);
 //! * [`RangeLock`] — the byte-range lock that data-sieving writes need for
 //!   their read-modify-write cycle;
 //! * [`StripedFile`] — RAID-0-style striping over several backends, the
 //!   "suitable striping configuration" of the paper's Figure 8
 //!   discussion.
 
+pub mod aligned;
 pub mod decorate;
 pub mod file;
 pub mod lock;
+pub mod os;
 pub mod retry;
+pub mod squeue;
 pub mod stripe;
 
+pub use aligned::{AlignedBuf, AlignedPool};
 pub use decorate::{
     take_spin_ns, CountingFile, FaultPlan, FaultyFile, IoStats, Throttle, ThrottledFile,
 };
 pub use file::{MemFile, StorageFile, UnixFile};
 pub use lock::{RangeGuard, RangeLock};
+pub use os::{OsConfig, OsFile};
 pub use retry::{RetryExhausted, RetryPolicy};
+pub use squeue::{Cqe, QueueConfig, SqBuf, Sqe, SubmissionQueue};
 pub use stripe::StripedFile;

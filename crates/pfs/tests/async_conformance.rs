@@ -1,0 +1,203 @@
+//! Async-completion conformance: the decorators in `decorate.rs` were
+//! written against synchronous backends, and their accounting assumes
+//! the call that passes through them *is* the I/O. [`OsFile`] completes
+//! asynchronously behind its facade, so these tests pin the contract
+//! that keeps the decorators correct in both arrangements:
+//!
+//! * a decorator **above** the queue sees exactly the facade calls
+//!   (per-call counts, sizes, maxima — regardless of how many
+//!   submissions the queue fans each call into), and deliberately does
+//!   not forward [`StorageFile::submission`];
+//! * a decorator **beneath** the queue sees the worker-side segmented
+//!   accesses, whose byte totals must still add up to the payload.
+
+use lio_pfs::{
+    CountingFile, FaultPlan, FaultyFile, IoStats, MemFile, OsConfig, OsFile, QueueConfig,
+    StorageFile, Throttle, ThrottledFile,
+};
+use std::sync::Arc;
+
+fn pattern(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 32) as u8
+        })
+        .collect()
+}
+
+fn os_over_mem() -> OsFile {
+    OsFile::over(
+        MemFile::new(),
+        OsConfig {
+            queue: QueueConfig {
+                workers: 2,
+                depth: 16,
+                shuffle_seed: None,
+            },
+            align: 512,
+            max_seg: 1024, // several segments per facade call
+        },
+    )
+}
+
+#[test]
+fn decorators_do_not_forward_the_queue() {
+    // The conformance keystone: wrapping an async backend hides its
+    // queue, funnelling consumers through the blocking facade where the
+    // decorator's per-call accounting is well defined.
+    let counting = CountingFile::new(os_over_mem());
+    assert!(counting.inner().submission().is_some());
+    assert!(counting.submission().is_none());
+    let throttled = ThrottledFile::new(os_over_mem(), Throttle::sx6_local_fs());
+    assert!(throttled.submission().is_none());
+    let faulty = FaultyFile::new(os_over_mem(), FaultPlan::disabled());
+    assert!(faulty.submission().is_none());
+    // ... while an undecorated Arc forwards it.
+    let arc: Arc<dyn StorageFile> = Arc::new(os_over_mem());
+    assert!(arc.submission().is_some());
+}
+
+#[test]
+fn counting_above_the_queue_counts_facade_calls() {
+    let f = CountingFile::new(os_over_mem());
+    // 5000-byte unaligned write → several submissions, ONE counted write.
+    let data = pattern(5000, 1);
+    f.write_at(3, &data).unwrap();
+    f.write_at(6000, &data[..100]).unwrap();
+    let mut buf = vec![0u8; 4000];
+    f.read_at(1, &mut buf).unwrap();
+    let s = f.stats();
+    assert_eq!(s.writes, 2, "one count per facade write");
+    assert_eq!(s.reads, 1, "one count per facade read");
+    assert_eq!(s.bytes_written, 5100);
+    assert_eq!(s.bytes_read, 4000);
+    assert_eq!(s.max_write, 5000);
+    assert_eq!(s.max_read, 4000);
+}
+
+#[test]
+fn counting_above_the_queue_is_concurrency_safe() {
+    let f = Arc::new(CountingFile::new(os_over_mem()));
+    let threads = 8usize;
+    let ops = 16usize;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let f = Arc::clone(&f);
+            s.spawn(move || {
+                for i in 0..ops {
+                    let buf = vec![t as u8 + 1; 777];
+                    f.write_at((t * ops + i) as u64 * 777, &buf).unwrap();
+                }
+            });
+        }
+    });
+    let s = f.stats();
+    assert_eq!(s.writes, (threads * ops) as u64);
+    assert_eq!(s.bytes_written, (threads * ops * 777) as u64);
+    assert_eq!(s.max_write, 777);
+}
+
+#[test]
+fn counting_beneath_the_queue_totals_match_payload() {
+    // The queue fans one facade call into several worker-side accesses;
+    // the decorated device's byte totals must sum back to the payload.
+    let inner = Arc::new(CountingFile::new(MemFile::new()));
+    let f = OsFile::over_arc(
+        Arc::clone(&inner) as Arc<dyn StorageFile>,
+        OsConfig {
+            queue: QueueConfig {
+                workers: 2,
+                depth: 16,
+                shuffle_seed: None,
+            },
+            align: 512,
+            max_seg: 1024,
+        },
+    );
+    let data = pattern(10_000, 2);
+    f.write_at(7, &data).unwrap(); // unaligned head/tail + aligned body
+    let s = inner.stats();
+    assert_eq!(
+        s.bytes_written,
+        data.len() as u64,
+        "segments sum to payload"
+    );
+    assert!(s.writes > 1, "the transfer was genuinely segmented");
+    assert!(s.max_write <= 1024, "no segment exceeds max_seg");
+    inner.reset();
+    let mut back = vec![0u8; data.len()];
+    assert_eq!(f.read_at(7, &mut back).unwrap(), data.len());
+    assert_eq!(back, data);
+    let s = inner.stats();
+    assert_eq!(s.bytes_read, data.len() as u64);
+    assert!(s.reads > 1);
+}
+
+#[test]
+fn throttled_above_the_queue_stays_correct() {
+    // Fast profile so the test stays quick; correctness is the point.
+    let f = ThrottledFile::new(
+        os_over_mem(),
+        Throttle {
+            read_bw: 1.0e12,
+            write_bw: 1.0e12,
+            latency: std::time::Duration::from_nanos(100),
+        },
+    );
+    let data = pattern(6000, 3);
+    assert_eq!(f.write_at(13, &data).unwrap(), data.len());
+    let mut back = vec![0u8; data.len()];
+    assert_eq!(f.read_at(13, &mut back).unwrap(), data.len());
+    assert_eq!(back, data);
+    // the facade drained its completions, so spin bookkeeping is local
+    let _ = lio_pfs::take_spin_ns();
+}
+
+#[test]
+fn disabled_fault_plan_is_passthrough_above_the_queue() {
+    let f = FaultyFile::new(os_over_mem(), FaultPlan::disabled());
+    let data = pattern(3000, 4);
+    assert_eq!(f.write_at(0, &data).unwrap(), data.len());
+    let mut back = vec![0u8; data.len()];
+    assert_eq!(f.read_at(0, &mut back).unwrap(), data.len());
+    assert_eq!(back, data);
+    assert_eq!(f.injected(), 0);
+    f.sync().unwrap();
+}
+
+#[test]
+fn stacked_decorators_and_stats_merge() {
+    // Counting inside throttling, both above the queue: counts are per
+    // facade call and merge arithmetic holds across two stacks.
+    let a = ThrottledFile::new(
+        CountingFile::new(os_over_mem()),
+        Throttle {
+            read_bw: 1.0e12,
+            write_bw: 1.0e12,
+            latency: std::time::Duration::ZERO,
+        },
+    );
+    let b = CountingFile::new(os_over_mem());
+    a.write_at(0, &[1u8; 300]).unwrap();
+    a.write_at(300, &[2u8; 200]).unwrap();
+    b.write_at(0, &[3u8; 1000]).unwrap();
+    let mut rbuf = [0u8; 64];
+    b.read_at(0, &mut rbuf).unwrap();
+    let mut merged = a.inner().stats();
+    merged.merge(&b.stats());
+    assert_eq!(
+        merged,
+        IoStats {
+            reads: 1,
+            writes: 3,
+            bytes_read: 64,
+            bytes_written: 1500,
+            max_read: 64,
+            max_write: 1000,
+        }
+    );
+}

@@ -1,0 +1,187 @@
+//! Fault-plan coverage for the real-file backend.
+//!
+//! A [`FaultyFile`] placed *beneath* the submission queue is the device
+//! the worker threadpool calls, so every injected short transfer,
+//! transient error, and flush failure lands on the workers' retry path.
+//! These tests prove that the [`lio_pfs::retry`] semantics the
+//! synchronous backends rely on hold identically on the real-file path:
+//! survivable plans always complete with the right bytes, and fail-stop
+//! plans surface permanent errors through the facade.
+
+use lio_pfs::decorate::{FaultPlan, FaultyFile};
+use lio_pfs::{MemFile, OsConfig, OsFile, QueueConfig, StorageFile};
+use std::sync::Arc;
+
+/// A deterministic pseudorandom byte pattern.
+fn pattern(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 32) as u8
+        })
+        .collect()
+}
+
+/// Small alignment + segment cap so modest transfers split into several
+/// submissions, each a separate injection opportunity.
+fn tight_config() -> OsConfig {
+    OsConfig {
+        queue: QueueConfig {
+            workers: 2,
+            depth: 16,
+            shuffle_seed: None,
+        },
+        align: 512,
+        max_seg: 2048,
+    }
+}
+
+/// The queue over a seeded fault plan over shared memory. The returned
+/// [`FaultyFile`] handle observes injection counts; the [`MemFile`] is
+/// the injection-free ground truth.
+fn faulty_stack(plan: FaultPlan) -> (OsFile, Arc<FaultyFile<Arc<MemFile>>>, Arc<MemFile>) {
+    let mem = Arc::new(MemFile::new());
+    let faulty = Arc::new(FaultyFile::new(Arc::clone(&mem), plan));
+    let f = OsFile::over_arc(Arc::clone(&faulty) as Arc<dyn StorageFile>, tight_config());
+    (f, faulty, mem)
+}
+
+#[test]
+fn seeded_plans_survive_on_the_worker_path() {
+    // The survivable default plan (shorts + bounded transients) must be
+    // invisible through the facade for any seed: the workers resume and
+    // retry, so reads/writes complete fully and correctly.
+    for seed in 1..=6u64 {
+        let plan = FaultPlan::seeded(seed);
+        let (f, faulty, mem) = faulty_stack(plan);
+        let data = pattern(24_000, seed);
+        // Scattered unaligned writes, then a full read-back.
+        let mut model = vec![0u8; 0];
+        for (i, chunk) in data.chunks(5003).enumerate() {
+            let off = (i * 5003) as u64 + 17; // unaligned, overlapping EOF
+            assert_eq!(
+                f.write_at(off, chunk)
+                    .unwrap_or_else(|e| panic!("seed {seed}: write must survive the plan: {e}")),
+                chunk.len()
+            );
+            let end = off as usize + chunk.len();
+            if model.len() < end {
+                model.resize(end, 0);
+            }
+            model[off as usize..end].copy_from_slice(chunk);
+        }
+        let mut back = vec![0u8; model.len() + 100];
+        let n = f
+            .read_at(0, &mut back)
+            .unwrap_or_else(|e| panic!("seed {seed}: read must survive the plan: {e}"));
+        assert_eq!(n, model.len(), "seed {seed}: short only at EOF");
+        assert_eq!(&back[..n], &model[..], "seed {seed}: bytes diverge");
+        assert_eq!(mem.snapshot(), model, "seed {seed}: device bytes diverge");
+        assert!(
+            faulty.injected() > 0,
+            "seed {seed}: the plan must actually have injected something"
+        );
+    }
+}
+
+#[test]
+fn short_transfers_resume_to_eof() {
+    // Shorts only: every access may be truncated, yet the facade reads
+    // exactly to EOF because the workers resume short transfers.
+    let plan = FaultPlan {
+        seed: 99,
+        short_per_256: 200,
+        transient_per_256: 0,
+        max_consecutive_transient: 0,
+        torn_after: None,
+        flush_fail_first: 0,
+    };
+    let (f, faulty, _mem) = faulty_stack(plan);
+    let data = pattern(10_000, 99);
+    assert_eq!(f.write_at(3, &data).unwrap(), data.len());
+    let mut back = vec![0u8; 16_000];
+    let n = f.read_at(0, &mut back).unwrap();
+    assert_eq!(n, 3 + data.len(), "read is short only at true EOF");
+    assert_eq!(&back[3..n], &data[..]);
+    assert!(faulty.injected() > 0);
+}
+
+#[test]
+fn transient_errors_are_retried_inside_workers() {
+    let plan = FaultPlan {
+        seed: 4242,
+        short_per_256: 0,
+        transient_per_256: 128,
+        max_consecutive_transient: 3, // well below the retry budget
+        torn_after: None,
+        flush_fail_first: 0,
+    };
+    let (f, faulty, mem) = faulty_stack(plan);
+    let data = pattern(8_192, 4242);
+    assert_eq!(f.write_at(0, &data).unwrap(), data.len());
+    assert_eq!(mem.snapshot(), data);
+    let mut back = vec![0u8; data.len()];
+    assert_eq!(f.read_at(0, &mut back).unwrap(), data.len());
+    assert_eq!(back, data);
+    assert!(faulty.injected() > 0, "transients must have been injected");
+}
+
+#[test]
+fn flush_failures_are_retried() {
+    let plan = FaultPlan {
+        seed: 7,
+        short_per_256: 0,
+        transient_per_256: 0,
+        max_consecutive_transient: 0,
+        torn_after: None,
+        flush_fail_first: 2,
+    };
+    let (f, faulty, _mem) = faulty_stack(plan);
+    f.write_at(0, b"durable").unwrap();
+    f.sync().expect("sync must survive transient flush faults");
+    assert!(
+        faulty.injected() >= 2,
+        "both injected flush faults must have fired (got {})",
+        faulty.injected()
+    );
+}
+
+#[test]
+fn torn_write_surfaces_as_permanent_error() {
+    // A fail-stop plan is NOT survivable: the facade must report the
+    // error (permanent errors pass straight through the workers' retry
+    // loop) and the device must hold only the persisted prefix.
+    let plan = FaultPlan {
+        seed: 1,
+        short_per_256: 0,
+        transient_per_256: 0,
+        max_consecutive_transient: 0,
+        torn_after: Some(1000),
+        flush_fail_first: 0,
+    };
+    let (f, _faulty, mem) = faulty_stack(plan);
+    // One aligned segment (≤ max_seg), so exactly one submission tears.
+    let data = pattern(2048, 1);
+    let err = f.write_at(0, &data).expect_err("torn write must error");
+    assert!(err.to_string().contains("torn write"), "got: {err}");
+    assert_eq!(mem.len(), 1000, "only the prefix persists");
+    assert_eq!(mem.snapshot(), data[..1000]);
+}
+
+#[test]
+fn seeded_plan_survives_on_a_real_file() {
+    // Same contract with a real kernel-backed file beneath the plan.
+    let raw = Arc::new(lio_pfs::os::temp_unix().expect("temp file"));
+    let faulty = Arc::new(FaultyFile::new(Arc::clone(&raw), FaultPlan::seeded(33)));
+    let f = OsFile::over_arc(Arc::clone(&faulty) as Arc<dyn StorageFile>, tight_config());
+    let data = pattern(20_000, 33);
+    assert_eq!(f.write_at(11, &data).unwrap(), data.len());
+    let mut back = vec![0u8; data.len()];
+    assert_eq!(f.read_at(11, &mut back).unwrap(), data.len());
+    assert_eq!(back, data);
+    f.sync().expect("sync survives the default plan");
+    assert!(faulty.injected() > 0);
+}
