@@ -68,6 +68,23 @@ for pk in scalar auto; do
   LIO_PACK_KERNEL=$pk cargo test -q -p lio-datatype
 done
 
+# Self-tuning corpus: the differential suites with the tuner armed on
+# every file — the tuner may only move performance knobs, so every
+# corpus case must stay byte-identical to the naive reference while
+# knobs shift mid-run. (pipeline_mem/zerocopy are excluded on purpose:
+# they pin engine-specific gauges, and the tuner legitimately changes
+# which schedule runs.)
+for be in mem os; do
+  echo "== autotune corpus under LIO_AUTOTUNE=1 LIO_BACKEND=$be"
+  LIO_AUTOTUNE=1 LIO_BACKEND=$be \
+    cargo test -q -p lio-core --test collective --test pipeline --test faults --test backend
+done
+
+# Tuner determinism + fault-safety + cold-start==advisor + autotuned
+# differential corpus (ranks x backends), in a clean env.
+echo "== autotune suite"
+cargo test -q -p lio-core --test autotune
+
 # Event tracing: the collective + pipeline suites once more with the
 # recorder armed (catches trace-enabled-only panics), plus the dedicated
 # trace-correctness tests (span pairing, causal merge, ring wraparound,
@@ -126,30 +143,53 @@ LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench profile_overhead
 echo "== os_overhead gate"
 LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench os_overhead
 
-# Perf trajectory: regenerate the pipeline bench artifact and compare
-# against the committed baseline; warns (never fails) on >15% wall-time
-# regressions so noisy hosts don't block, but the drift is on record.
-echo "== bench baseline comparison"
-if git show HEAD:BENCH_pipeline.json > /tmp/lio_bench_baseline.json 2>/dev/null; then
-  LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench pipeline
-  ./target/release/repro bench-compare /tmp/lio_bench_baseline.json BENCH_pipeline.json
-else
-  echo "  (no committed BENCH_pipeline.json baseline yet — skipping)"
-fi
-if git show HEAD:BENCH_pack.json > /tmp/lio_pack_baseline.json 2>/dev/null \
-    && grep -q pack_kernels /tmp/lio_pack_baseline.json; then
-  LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench pack
-  ./target/release/repro bench-compare /tmp/lio_pack_baseline.json BENCH_pack.json
-else
-  echo "  (no committed BENCH_pack.json with pack_kernels columns yet — skipping)"
-fi
-if git show HEAD:BENCH_metrics.json > /tmp/lio_metrics_baseline.json 2>/dev/null \
-    && grep -q schema_version /tmp/lio_metrics_baseline.json; then
-  ./target/release/repro metrics --quick
-  ./target/release/repro bench-compare /tmp/lio_metrics_baseline.json BENCH_metrics.json
-else
-  echo "  (no schema-versioned BENCH_metrics.json baseline yet — skipping)"
-fi
+# Tuner-enabled-but-already-optimal overhead gate: <=2% wall overhead
+# and zero net knob movement after settling (exits non-zero on a clean
+# violation; prints CHECK when the host's own noise floor exceeds it).
+echo "== autotune_overhead gate"
+LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench autotune_overhead
+
+# Self-tuning convergence proof: from cold-start default hints, the
+# tuned wall time must reach within 10% of the best static config (the
+# exhaustive sweep runs in the same invocation) in at most 8 ops; the
+# binary exits non-zero on a miss and writes BENCH_autotune.json.
+echo "== repro autotune + validate-json"
+./target/release/repro autotune --quick | tee /tmp/lio_autotune_out.txt
+grep -q "converged at op" /tmp/lio_autotune_out.txt
+./target/release/repro validate-json BENCH_autotune.json
+
+# Perf trajectory: regenerate every committed BENCH_*.json artifact and
+# compare against its baseline. Any time-unit metric regressing beyond
+# the threshold fails CI with the (bench, config, metric) triple named;
+# the threshold is deliberately loose (50%) so shared-host noise doesn't
+# block while real cliffs stay on record.
+echo "== bench baseline comparison (fail at >${LIO_BENCH_COMPARE_PCT:-50}%)"
+export LIO_BENCH_COMPARE_PCT="${LIO_BENCH_COMPARE_PCT:-50}"
+regen_bench() {
+  case "$1" in
+    BENCH_pipeline.json) LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench pipeline ;;
+    BENCH_pack.json)     LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench pack ;;
+    BENCH_metrics.json)  ./target/release/repro metrics --quick ;;
+    BENCH_autotune.json) ./target/release/repro autotune --quick ;;
+    *) return 1 ;;
+  esac
+}
+for bj in $(git ls-tree --name-only HEAD | grep '^BENCH_.*\.json$'); do
+  git show "HEAD:$bj" > "/tmp/lio_baseline_$bj"
+  if ! grep -q schema_version "/tmp/lio_baseline_$bj"; then
+    echo "  ($bj baseline predates the schema — skipping)"
+    continue
+  fi
+  if [ "$bj" = "BENCH_pack.json" ] && ! grep -q pack_kernels "/tmp/lio_baseline_$bj"; then
+    echo "  ($bj baseline lacks pack_kernels columns — skipping)"
+    continue
+  fi
+  if ! regen_bench "$bj"; then
+    echo "  (no regeneration recipe for $bj — skipping)"
+    continue
+  fi
+  ./target/release/repro bench-compare --fail "/tmp/lio_baseline_$bj" "$bj"
+done
 
 # Fault corpus: the three fixed seeds plus a rotating, commit-derived
 # seed so the corpus keeps widening over time without losing replay

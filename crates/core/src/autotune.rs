@@ -1,0 +1,1154 @@
+//! Self-tuning collective engine: online knob adaptation from
+//! critical-path feedback.
+//!
+//! Every collective knob in this crate — engine choice,
+//! `two_phase_pipeline`, `pipeline_depth`, `cb_buffer_size`,
+//! `pack_threads` — is otherwise frozen at open time, exactly the manual
+//! hint-tuning burden ROMIO documents. This module closes the loop: a
+//! per-file [`Tuner`] ingests each collective op's critical-path
+//! breakdown (exchange vs io vs pack nanoseconds, observed file-domain
+//! span) and retunes the *next* op's effective knobs with a bounded
+//! hill-climb:
+//!
+//! - **signal**: the op's phase breakdown is classified (io-bound,
+//!   exchange-bound, pack-bound, cb-geometry mismatch, balanced);
+//! - **hysteresis**: a knob only moves after [`K_CONSISTENT`] ops agree
+//!   on the same signal, so one noisy op never moves anything;
+//! - **clamp**: every move is a single ×2/÷2 (or on/off) step inside
+//!   hard bounds;
+//! - **revert**: each move is a *trial* — if the next op's wall time
+//!   regresses more than [`REVERT_TOL`] over the pre-move baseline, the
+//!   knob snaps back and that (knob, direction) is blocked from further
+//!   attempts, so the climb cannot oscillate.
+//!
+//! After [`SETTLE_QUIET`] consecutive ops without a move the tuner is
+//! *settled* (`core.tune.settled`). Cold start is shared with the PR 6
+//! advisor: the first measured op's live profile runs through
+//! `lio_obs::profile::RULES` via [`apply_settings`], so the rule table's
+//! thresholds exist in exactly one place.
+//!
+//! Cross-rank agreement: collective knobs (window size, depth, engine)
+//! must be identical on every rank for the *same* op, or the exchange
+//! protocol itself diverges. The shared [`TunerState`] lives on the
+//! [`crate::SharedFile`] (one per file, cloned into every rank) and
+//! memoizes decisions by op index: whichever rank plans op *n* first
+//! runs the decision from op *n−1*'s aggregated reports, every other
+//! rank reads the memoized result. Reports arriving after their op's
+//! decision was taken (reads have no closing barrier) are dropped as
+//! stale; aborted ops mark the aggregate so the decision discards it —
+//! failed ops never move a knob (`core.tune.discarded`).
+//!
+//! The tuner changes *performance* knobs only: the differential corpus
+//! (`tests/autotune.rs`, plus the `LIO_AUTOTUNE=1` corpus reruns in
+//! ci.sh) pins file bytes identical with and without it.
+
+use crate::hints::{Engine, Hints};
+use lio_obs::profile::{self, Recommendation};
+use lio_obs::{trace, LazyCounter};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Consecutive identical signals required before a knob moves.
+pub const K_CONSISTENT: u32 = 2;
+/// Consecutive move-free decisions before the tuner counts as settled.
+pub const SETTLE_QUIET: u32 = 3;
+/// A trial move is reverted when the next op's wall time exceeds the
+/// pre-move baseline by more than this fraction.
+pub const REVERT_TOL: f64 = 0.10;
+/// Collective-buffer clamp for tuner moves (matches the advisor's
+/// `cb_target` clamp in `lio_obs::profile`).
+pub const CB_MIN: usize = 64 * 1024;
+pub const CB_MAX: usize = 16 * 1024 * 1024;
+/// Pipeline-depth ceiling for io-bound escalation (exchange-bound stops
+/// at 4: deeper windows only buy more overlap when storage is the
+/// laggard).
+pub const DEPTH_MAX_IO: usize = 8;
+pub const DEPTH_MAX_EXCH: usize = 4;
+/// Pack-shard ceiling, matching `Hints::effective_pack_threads`'s auto cap.
+pub const PACK_MAX: usize = 8;
+
+static OBS_DECISIONS: LazyCounter = LazyCounter::new("core.tune.decisions");
+static OBS_REVERTS: LazyCounter = LazyCounter::new("core.tune.reverts");
+static OBS_SETTLED: LazyCounter = LazyCounter::new("core.tune.settled");
+static OBS_DISCARDED: LazyCounter = LazyCounter::new("core.tune.discarded");
+
+/// What one rank observed for one collective op. All ranks' outcomes for
+/// the same op index are aggregated before the next decision.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpOutcome {
+    /// Write (`true`) or read collective.
+    pub write: bool,
+    /// This rank's wall time for the op, ns (0 when `lio_obs` is off).
+    pub wall_ns: u64,
+    /// Critical-path phase nanoseconds, as the engines already meter
+    /// them for the `core.coll.*` counters.
+    pub exchange_ns: u64,
+    pub io_ns: u64,
+    pub pack_ns: u64,
+    /// Phase time hidden by pipelining (phases sum − wall).
+    pub overlap_ns: u64,
+    /// Bytes this rank moved.
+    pub bytes: u64,
+    /// Total file-domain span of the op (identical on every rank).
+    pub span: u64,
+}
+
+/// Per-op aggregate across ranks.
+#[derive(Clone, Copy, Debug, Default)]
+struct Agg {
+    reports: u32,
+    aborted: bool,
+    wall_max: u64,
+    exch: u64,
+    io: u64,
+    pack: u64,
+    overlap: u64,
+    span: u64,
+}
+
+impl Agg {
+    fn merge(&mut self, o: &OpOutcome, aborted: bool) {
+        self.reports += 1;
+        self.aborted |= aborted;
+        self.wall_max = self.wall_max.max(o.wall_ns);
+        self.exch += o.exchange_ns;
+        self.io += o.io_ns;
+        self.pack += o.pack_ns;
+        self.overlap += o.overlap_ns;
+        self.span = self.span.max(o.span);
+    }
+}
+
+/// The tunable knob subset of [`Hints`]: exactly the collective knobs
+/// that must agree across ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Knobs {
+    pub engine: Engine,
+    pub pipelined: bool,
+    pub depth: usize,
+    pub cb: usize,
+    pub pack_threads: usize,
+}
+
+impl Knobs {
+    pub fn from_hints(h: &Hints) -> Knobs {
+        Knobs {
+            engine: h.engine,
+            pipelined: h.two_phase_pipeline,
+            depth: h.pipeline_depth.max(1),
+            cb: h.cb_buffer_size,
+            pack_threads: h.pack_threads,
+        }
+    }
+
+    /// Overlay these knobs on `base`, leaving every non-tuned hint alone.
+    pub fn apply_to(&self, base: &Hints) -> Hints {
+        let mut h = *base;
+        h.engine = self.engine;
+        h.two_phase_pipeline = self.pipelined;
+        h.pipeline_depth = self.depth;
+        h.cb_buffer_size = self.cb;
+        h.pack_threads = self.pack_threads;
+        h
+    }
+
+    /// Compact rendering for decision logs and convergence tables,
+    /// e.g. `listless/pipe=on x4/cb=524288/pt=1`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}/pipe={} x{}/cb={}/pt={}",
+            match self.engine {
+                Engine::ListBased => "list_based",
+                Engine::Listless => "listless",
+            },
+            if self.pipelined { "on" } else { "off" },
+            self.depth,
+            self.cb,
+            self.pack_threads
+        )
+    }
+}
+
+/// Which knob a decision touched (trace `b` payload for `tune.*` marks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Knob {
+    ColdStart = 0,
+    Engine = 1,
+    Pipeline = 2,
+    Depth = 3,
+    Cb = 4,
+    Pack = 5,
+}
+
+/// The classified signal an op's aggregate emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SignalKind {
+    Balanced,
+    IoBound,
+    ExchangeBound,
+    PackBound,
+    CbMismatch {
+        up: bool,
+    },
+    /// Pipelined, but the windows barely overlap: the depth buys window
+    /// overhead without hiding anything.
+    Underlap,
+}
+
+impl SignalKind {
+    fn describe(&self, agg: &Agg) -> String {
+        let total = (agg.exch + agg.io + agg.pack).max(1) as f64;
+        match self {
+            SignalKind::Balanced => "balanced phases".to_string(),
+            SignalKind::IoBound => {
+                format!(
+                    "io-bound ({:.0}% of phase time)",
+                    agg.io as f64 / total * 100.0
+                )
+            }
+            SignalKind::ExchangeBound => format!(
+                "exchange-bound ({:.0}% of phase time)",
+                agg.exch as f64 / total * 100.0
+            ),
+            SignalKind::PackBound => {
+                format!(
+                    "pack-bound ({:.0}% of phase time)",
+                    agg.pack as f64 / total * 100.0
+                )
+            }
+            SignalKind::CbMismatch { up } => format!(
+                "cb {} vs target {} for span {} ({})",
+                "mismatch",
+                profile::cb_target(agg.span),
+                agg.span,
+                if *up { "too small" } else { "too large" }
+            ),
+            SignalKind::Underlap => format!(
+                "under-lap: pipelined but overlap is {:.0}% of phase time",
+                agg.overlap as f64 / total * 100.0
+            ),
+        }
+    }
+}
+
+/// An in-flight trial move, judged by the next successful op's wall time.
+#[derive(Clone, Debug)]
+struct Trial {
+    prev: Knobs,
+    baseline_wall: f64,
+    knob: Knob,
+    dir: i8,
+    desc: String,
+}
+
+/// One logged decision, in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TuneDecision {
+    /// The op index the decision's knobs first apply to.
+    pub op: u64,
+    /// `cold_start` | `move` | `commit` | `revert` | `discard` | `settle`.
+    pub action: &'static str,
+    /// The knob transition, e.g. `pipeline_depth 2 -> 4`.
+    pub knob: String,
+    /// The triggering signal, stated in profile-evidence terms.
+    pub signal: String,
+    /// Aggregate wall of the op that triggered the decision, ns.
+    pub wall_ns: u64,
+}
+
+/// One row of the convergence table: the knobs an op ran with and the
+/// slowest rank's wall time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TuneOp {
+    pub op: u64,
+    pub knobs: String,
+    pub wall_ns: u64,
+}
+
+/// Snapshot of everything the tuner has done, for `repro autotune`
+/// tables and assertions ([`crate::SharedFile::tune_report`]).
+#[derive(Clone, Debug, Default)]
+pub struct TuneReport {
+    pub decisions: Vec<TuneDecision>,
+    pub ops: Vec<TuneOp>,
+    /// Reports that arrived after their op's decision was taken.
+    pub stale_reports: u64,
+    /// Aborted ops whose measurements were discarded.
+    pub discarded: u64,
+    pub settled: bool,
+    /// Knob summaries at arm time and now.
+    pub initial: String,
+    pub current: String,
+}
+
+/// The shared per-file tuner: one per [`crate::SharedFile`], memoizing
+/// per-op decisions so every rank resolves identical effective knobs.
+/// Public (with [`Tuner`]) so tests can drive synthetic outcome
+/// sequences through the exact production decision path.
+#[derive(Debug)]
+pub struct TunerState {
+    base: Hints,
+    knobs: Knobs,
+    initial: Knobs,
+    /// Env-pinned values: the tuner never fights an explicit
+    /// `LIO_PIPELINE` / `LIO_PACK_THREADS` override.
+    frozen_pipeline: Option<bool>,
+    frozen_pack: Option<usize>,
+    /// Lowest op index whose decision has not been taken yet. Op 0 runs
+    /// the initial knobs; the decision applying to op n consumes op
+    /// n−1's aggregate.
+    next_decision: u64,
+    /// Highest op index planned so far (+1); reopened files resume here.
+    ops_seen: u64,
+    pending: BTreeMap<u64, Agg>,
+    cold_started: bool,
+    trial: Option<Trial>,
+    /// EWMA wall under the current committed knobs.
+    baseline_wall: Option<f64>,
+    last_signal: Option<SignalKind>,
+    streak: u32,
+    quiet: u32,
+    settled: bool,
+    /// (knob, direction) pairs that reverted once: never retried.
+    blocked: Vec<(Knob, i8)>,
+    report: TuneReport,
+}
+
+fn env_flag(name: &str) -> Option<bool> {
+    match std::env::var(name) {
+        Ok(v) => match v.as_str() {
+            "1" | "on" | "true" | "enable" => Some(true),
+            "0" | "off" | "false" | "disable" => Some(false),
+            _ => None,
+        },
+        Err(_) => None,
+    }
+}
+
+impl TunerState {
+    pub fn new(base: &Hints) -> TunerState {
+        let mut knobs = Knobs::from_hints(base);
+        let frozen_pipeline = env_flag("LIO_PIPELINE");
+        if let Some(v) = frozen_pipeline {
+            knobs.pipelined = v;
+        }
+        let frozen_pack = std::env::var("LIO_PACK_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok());
+        if let Some(v) = frozen_pack {
+            knobs.pack_threads = v;
+        }
+        TunerState {
+            base: *base,
+            knobs,
+            initial: knobs,
+            frozen_pipeline,
+            frozen_pack,
+            next_decision: 1,
+            ops_seen: 0,
+            pending: BTreeMap::new(),
+            cold_started: false,
+            trial: None,
+            baseline_wall: None,
+            last_signal: None,
+            streak: 0,
+            quiet: 0,
+            settled: false,
+            blocked: Vec::new(),
+            report: TuneReport::default(),
+        }
+    }
+
+    /// Effective hints for op `op`. The first caller for a given index
+    /// runs any pending decisions (consuming earlier ops' aggregates);
+    /// later callers read the memoized result — this is what keeps every
+    /// rank's collective knobs identical per op.
+    pub fn plan(&mut self, op: u64) -> Hints {
+        let base = self.base;
+        self.plan_with(op, &base)
+    }
+
+    /// Like [`TunerState::plan`], but overlays the tuned knobs on a
+    /// caller-supplied base — the per-`File` hints, which may differ
+    /// across reopens of the same shared file.
+    pub fn plan_with(&mut self, op: u64, base: &Hints) -> Hints {
+        self.ops_seen = self.ops_seen.max(op + 1);
+        while self.next_decision <= op {
+            let agg = self.pending.remove(&(self.next_decision - 1));
+            let decision_op = self.next_decision;
+            self.next_decision += 1;
+            self.ingest(decision_op, agg);
+        }
+        if self.report.ops.len() as u64 == op {
+            self.report.ops.push(TuneOp {
+                op,
+                knobs: self.knobs.summary(),
+                wall_ns: 0,
+            });
+        }
+        self.knobs.apply_to(base)
+    }
+
+    /// One rank's outcome for op `op`.
+    pub fn record(&mut self, op: u64, o: OpOutcome) {
+        self.record_inner(op, &o, false);
+    }
+
+    /// One rank aborted op `op` (fault path): the whole op's
+    /// measurements are poisoned and its decision becomes a discard.
+    pub fn record_aborted(&mut self, op: u64) {
+        self.record_inner(op, &OpOutcome::default(), true);
+    }
+
+    fn record_inner(&mut self, op: u64, o: &OpOutcome, aborted: bool) {
+        if op + 1 < self.next_decision {
+            // the decision consuming this op already ran (reads have no
+            // closing barrier, so stragglers are expected): drop as stale
+            self.report.stale_reports += 1;
+            return;
+        }
+        self.pending.entry(op).or_default().merge(o, aborted);
+        if let Some(row) = self.report.ops.get_mut(op as usize) {
+            row.wall_ns = row.wall_ns.max(o.wall_ns);
+        }
+    }
+
+    pub fn report_snapshot(&self) -> TuneReport {
+        let mut r = self.report.clone();
+        r.settled = self.settled;
+        r.initial = self.initial.summary();
+        r.current = self.knobs.summary();
+        r
+    }
+
+    fn push_decision(
+        &mut self,
+        op: u64,
+        action: &'static str,
+        knob: String,
+        signal: String,
+        wall_ns: u64,
+    ) {
+        self.report.decisions.push(TuneDecision {
+            op,
+            action,
+            knob,
+            signal,
+            wall_ns,
+        });
+    }
+
+    fn note_quiet(&mut self, op: u64, wall_ns: u64) {
+        self.quiet += 1;
+        if self.quiet >= SETTLE_QUIET && !self.settled {
+            self.settled = true;
+            OBS_SETTLED.incr();
+            trace::mark("tune.settle", op, 0);
+            self.push_decision(
+                op,
+                "settle",
+                self.knobs.summary(),
+                format!("{SETTLE_QUIET} decisions without a move"),
+                wall_ns,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_trial(
+        &mut self,
+        op: u64,
+        action: &'static str,
+        tag: &'static str,
+        knob: Knob,
+        dir: i8,
+        desc: String,
+        signal: String,
+        next: Knobs,
+        baseline_wall: f64,
+        wall_ns: u64,
+    ) {
+        self.streak = 0;
+        self.last_signal = None;
+        self.quiet = 0;
+        self.settled = false;
+        OBS_DECISIONS.incr();
+        trace::mark(tag, op, knob as u64);
+        self.trial = Some(Trial {
+            prev: self.knobs,
+            baseline_wall,
+            knob,
+            dir,
+            desc: desc.clone(),
+        });
+        self.knobs = next;
+        self.push_decision(op, action, desc, signal, wall_ns);
+    }
+
+    /// Run the decision that applies from op `op` onward, fed by op
+    /// `op − 1`'s aggregate (absent when nothing reported, e.g. obs off).
+    fn ingest(&mut self, op: u64, agg: Option<Agg>) {
+        let Some(agg) = agg else { return };
+        if agg.aborted {
+            self.report.discarded += 1;
+            OBS_DISCARDED.incr();
+            // an aborted op measures the fault, not the knobs: keep the
+            // trial (judged by the next clean op) and move nothing
+            self.push_decision(
+                op,
+                "discard",
+                String::new(),
+                "op aborted by fault".to_string(),
+                agg.wall_max,
+            );
+            return;
+        }
+        let wall = agg.wall_max as f64;
+        if let Some(tr) = self.trial.take() {
+            if tr.baseline_wall > 0.0 && wall > tr.baseline_wall * (1.0 + REVERT_TOL) {
+                OBS_REVERTS.incr();
+                trace::mark("tune.revert", op, tr.knob as u64);
+                self.blocked.push((tr.knob, tr.dir));
+                self.knobs = tr.prev;
+                self.baseline_wall = Some(tr.baseline_wall);
+                self.quiet = 0;
+                self.push_decision(
+                    op,
+                    "revert",
+                    tr.desc,
+                    format!(
+                        "wall {} ns > {:.0}% over pre-move baseline {:.0} ns",
+                        agg.wall_max,
+                        REVERT_TOL * 100.0,
+                        tr.baseline_wall
+                    ),
+                    agg.wall_max,
+                );
+            } else {
+                self.baseline_wall = Some(wall);
+                if tr.knob == Knob::Pipeline {
+                    // two-way hysteresis for boolean toggles: a committed,
+                    // measurement-confirmed flip is never exactly undone,
+                    // else the phase-dominance signal re-litigates it
+                    // forever (scalar knobs may still step back)
+                    self.blocked.push((tr.knob, -tr.dir));
+                }
+                self.push_decision(
+                    op,
+                    "commit",
+                    tr.desc,
+                    format!("wall {} ns held within tolerance", agg.wall_max),
+                    agg.wall_max,
+                );
+            }
+            return;
+        }
+        if !self.cold_started {
+            self.cold_started = true;
+            self.baseline_wall = Some(wall);
+            if profile::enabled() {
+                let p = profile::snapshot();
+                if p.has_collective() {
+                    let recs = profile::advise(&p);
+                    let mut k = Knobs::from_hints(&apply_settings(self.base, &recs));
+                    if let Some(v) = self.frozen_pipeline {
+                        k.pipelined = v;
+                    }
+                    if let Some(v) = self.frozen_pack {
+                        k.pack_threads = v;
+                    }
+                    if k != self.knobs {
+                        let desc = format!("{} -> {}", self.knobs.summary(), k.summary());
+                        self.start_trial(
+                            op,
+                            "cold_start",
+                            "tune.cold_start",
+                            Knob::ColdStart,
+                            0,
+                            desc,
+                            format!(
+                                "advisor rule table on live profile ({} recommendations)",
+                                recs.len()
+                            ),
+                            k,
+                            wall,
+                            agg.wall_max,
+                        );
+                    }
+                }
+            }
+            return;
+        }
+        let b = self.baseline_wall.get_or_insert(wall);
+        *b = 0.5 * *b + 0.5 * wall;
+        let baseline = *b;
+        let sig = self.classify(&agg);
+        self.streak = if self.last_signal == Some(sig) {
+            self.streak + 1
+        } else {
+            1
+        };
+        self.last_signal = Some(sig);
+        if sig == SignalKind::Balanced || self.streak < K_CONSISTENT {
+            self.note_quiet(op, agg.wall_max);
+            return;
+        }
+        match self.propose(sig, &agg) {
+            Some((knob, dir, desc, next)) => {
+                let signal = sig.describe(&agg);
+                self.start_trial(
+                    op,
+                    "move",
+                    "tune.move",
+                    knob,
+                    dir,
+                    desc,
+                    signal,
+                    next,
+                    baseline,
+                    agg.wall_max,
+                );
+            }
+            None => self.note_quiet(op, agg.wall_max),
+        }
+    }
+
+    fn classify(&self, agg: &Agg) -> SignalKind {
+        if agg.span > 0 {
+            let target = profile::cb_target(agg.span);
+            let cur = self.knobs.cb as u64;
+            if cur > target.saturating_mul(4) {
+                return SignalKind::CbMismatch { up: false };
+            }
+            if cur.saturating_mul(4) < target {
+                return SignalKind::CbMismatch { up: true };
+            }
+        }
+        let total = agg.exch + agg.io + agg.pack;
+        if total == 0 {
+            return SignalKind::Balanced;
+        }
+        let frac = |v: u64| v as f64 / total as f64;
+        // under-lap beats phase dominance: an io-bound pipelined op whose
+        // windows never overlap should shed the pipeline, not deepen it
+        if self.knobs.pipelined && frac(agg.overlap) < 0.125 {
+            return SignalKind::Underlap;
+        }
+        if frac(agg.io) >= 0.5 {
+            SignalKind::IoBound
+        } else if frac(agg.exch) >= 0.5 {
+            SignalKind::ExchangeBound
+        } else if frac(agg.pack) >= 0.5 {
+            SignalKind::PackBound
+        } else {
+            SignalKind::Balanced
+        }
+    }
+
+    fn propose(&self, sig: SignalKind, _agg: &Agg) -> Option<(Knob, i8, String, Knobs)> {
+        let k = self.knobs;
+        let open = |knob: Knob, dir: i8| !self.blocked.contains(&(knob, dir));
+        match sig {
+            SignalKind::Balanced => None,
+            SignalKind::CbMismatch { up } => {
+                let dir = if up { 1 } else { -1 };
+                if !open(Knob::Cb, dir) {
+                    return None;
+                }
+                let next = if up {
+                    k.cb.saturating_mul(2).min(CB_MAX)
+                } else {
+                    (k.cb / 2).max(CB_MIN)
+                };
+                (next != k.cb).then(|| {
+                    (
+                        Knob::Cb,
+                        dir,
+                        format!("cb_buffer_size {} -> {}", k.cb, next),
+                        Knobs { cb: next, ..k },
+                    )
+                })
+            }
+            SignalKind::IoBound => {
+                if !k.pipelined && self.frozen_pipeline.is_none() && open(Knob::Pipeline, 1) {
+                    Some((
+                        Knob::Pipeline,
+                        1,
+                        "two_phase_pipeline off -> on".to_string(),
+                        Knobs {
+                            pipelined: true,
+                            ..k
+                        },
+                    ))
+                } else if k.pipelined && k.depth < DEPTH_MAX_IO && open(Knob::Depth, 1) {
+                    Some((
+                        Knob::Depth,
+                        1,
+                        format!("pipeline_depth {} -> {}", k.depth, k.depth * 2),
+                        Knobs {
+                            depth: (k.depth * 2).min(DEPTH_MAX_IO),
+                            ..k
+                        },
+                    ))
+                } else {
+                    None
+                }
+            }
+            SignalKind::ExchangeBound => {
+                if k.engine == Engine::ListBased && open(Knob::Engine, 1) {
+                    Some((
+                        Knob::Engine,
+                        1,
+                        "engine list_based -> listless".to_string(),
+                        Knobs {
+                            engine: Engine::Listless,
+                            ..k
+                        },
+                    ))
+                } else if !k.pipelined && self.frozen_pipeline.is_none() && open(Knob::Pipeline, 1)
+                {
+                    Some((
+                        Knob::Pipeline,
+                        1,
+                        "two_phase_pipeline off -> on".to_string(),
+                        Knobs {
+                            pipelined: true,
+                            ..k
+                        },
+                    ))
+                } else if k.pipelined && k.depth < DEPTH_MAX_EXCH && open(Knob::Depth, 1) {
+                    Some((
+                        Knob::Depth,
+                        1,
+                        format!("pipeline_depth {} -> {}", k.depth, k.depth * 2),
+                        Knobs {
+                            depth: (k.depth * 2).min(DEPTH_MAX_EXCH),
+                            ..k
+                        },
+                    ))
+                } else {
+                    None
+                }
+            }
+            SignalKind::Underlap => {
+                if k.pipelined && self.frozen_pipeline.is_none() && open(Knob::Pipeline, -1) {
+                    Some((
+                        Knob::Pipeline,
+                        -1,
+                        "two_phase_pipeline on -> off".to_string(),
+                        Knobs {
+                            pipelined: false,
+                            ..k
+                        },
+                    ))
+                } else {
+                    None
+                }
+            }
+            SignalKind::PackBound => {
+                // pack_threads 0 is already "auto" (engine-sized pool)
+                if self.frozen_pack.is_none()
+                    && k.pack_threads >= 1
+                    && k.pack_threads < PACK_MAX
+                    && open(Knob::Pack, 1)
+                {
+                    let next = (k.pack_threads * 2).min(PACK_MAX);
+                    Some((
+                        Knob::Pack,
+                        1,
+                        format!("pack_threads {} -> {}", k.pack_threads, next),
+                        Knobs {
+                            pack_threads: next,
+                            ..k
+                        },
+                    ))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Standalone driver around [`TunerState`] for tests and offline replay:
+/// the same decision path the in-file tuner runs, minus the cross-rank
+/// memoization plumbing.
+#[derive(Debug)]
+pub struct Tuner {
+    st: TunerState,
+}
+
+impl Tuner {
+    pub fn new(base: &Hints) -> Tuner {
+        Tuner {
+            st: TunerState::new(base),
+        }
+    }
+
+    /// Effective hints for op `op` (runs pending decisions).
+    pub fn plan_hints(&mut self, op: u64) -> Hints {
+        self.st.plan(op)
+    }
+
+    /// Report one rank's outcome for op `op`.
+    pub fn record(&mut self, op: u64, o: OpOutcome) {
+        self.st.record(op, o);
+    }
+
+    /// Report one rank's abort for op `op`.
+    pub fn record_aborted(&mut self, op: u64) {
+        self.st.record_aborted(op);
+    }
+
+    pub fn report(&self) -> TuneReport {
+        self.st.report_snapshot()
+    }
+}
+
+/// The slot a [`crate::SharedFile`] carries: lazily initialized by the
+/// first armed open.
+pub(crate) type SharedTuner = Arc<Mutex<Option<TunerState>>>;
+
+/// Per-`File` (per-rank) handle to the shared tuner. Tracks this rank's
+/// op index locally — ranks issue the same collective sequence, so the
+/// indices agree by construction; the shared state memoizes the decision
+/// for each index.
+pub(crate) struct FileTuner {
+    shared: SharedTuner,
+    /// Global op index this file's op 0 maps to (reopens resume where
+    /// the previous session of the file left off).
+    base_op: u64,
+    issued: Cell<u64>,
+    cur_op: Cell<u64>,
+}
+
+impl FileTuner {
+    pub(crate) fn arm(slot: &SharedTuner, hints: &Hints) -> FileTuner {
+        let mut g = slot.lock().unwrap();
+        let st = g.get_or_insert_with(|| TunerState::new(hints));
+        FileTuner {
+            base_op: st.ops_seen,
+            shared: Arc::clone(slot),
+            issued: Cell::new(0),
+            cur_op: Cell::new(0),
+        }
+    }
+
+    /// Effective hints for the collective op about to start, overlaying
+    /// the tuned knobs on this file's own hints.
+    pub(crate) fn plan(&self, base: &Hints) -> Hints {
+        let op = self.base_op + self.issued.get();
+        self.issued.set(self.issued.get() + 1);
+        self.cur_op.set(op);
+        self.shared
+            .lock()
+            .unwrap()
+            .as_mut()
+            .expect("armed tuner state")
+            .plan_with(op, base)
+    }
+
+    /// Report the op planned last by this rank.
+    pub(crate) fn finish_op(&self, o: OpOutcome) {
+        self.shared
+            .lock()
+            .unwrap()
+            .as_mut()
+            .expect("armed tuner state")
+            .record(self.cur_op.get(), o);
+    }
+
+    /// Report that the op planned last by this rank aborted.
+    pub(crate) fn abort_op(&self) {
+        self.shared
+            .lock()
+            .unwrap()
+            .as_mut()
+            .expect("armed tuner state")
+            .record_aborted(self.cur_op.get());
+    }
+}
+
+/// Apply advisor [`Recommendation`]s to `base`, translating the
+/// advisor's setting strings through [`Hints::apply_info`]. This is the
+/// single code path turning `profile::RULES` output into knobs — the
+/// tuner's cold start and any caller acting on `repro profile` advice
+/// share it, so thresholds are never duplicated. Settings `apply_info`
+/// does not recognize map first (`sieving=…` → `romio_ds_write=…`);
+/// unparseable settings are skipped.
+pub fn apply_settings(base: Hints, recs: &[Recommendation]) -> Hints {
+    let mut hints = base;
+    for r in recs {
+        for part in r.setting.split(',') {
+            let part = part.trim();
+            let Some((k, v)) = part.split_once('=') else {
+                continue;
+            };
+            let (k, v) = match (k, v) {
+                ("sieving", "sieve") => ("romio_ds_write", "enable"),
+                ("sieving", "direct") => ("romio_ds_write", "disable"),
+                ("sieving", v) => ("romio_ds_write", v),
+                other => other,
+            };
+            if let Ok(h) = hints.apply_info([(k, v)]) {
+                hints = h;
+            }
+        }
+    }
+    hints
+}
+
+/// The advisor-derived cold-start knobs for a given profile — exposed so
+/// the regression test can pin tuner cold start == advisor output on the
+/// canned fig5/fig6 profiles.
+pub fn cold_start_knobs(base: &Hints, p: &profile::ProfileSnapshot) -> Knobs {
+    Knobs::from_hints(&apply_settings(*base, &profile::advise(p)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// These tests pin exact decision sequences from default hints; an
+    /// explicit env override (ci's `LIO_PIPELINE=1` corpus runs, etc.)
+    /// legitimately freezes or flips knobs, so skip under one.
+    fn env_pinned() -> bool {
+        [
+            "LIO_PIPELINE",
+            "LIO_PACK_THREADS",
+            "LIO_PROFILE",
+            "LIO_AUTOTUNE",
+        ]
+        .iter()
+        .any(|v| std::env::var(v).is_ok())
+    }
+
+    fn io_bound(span: u64) -> OpOutcome {
+        OpOutcome {
+            write: true,
+            wall_ns: 1_000_000,
+            exchange_ns: 150_000,
+            io_ns: 800_000,
+            pack_ns: 50_000,
+            overlap_ns: 0,
+            bytes: span / 4,
+            span,
+        }
+    }
+
+    /// span chosen so cb_target(span) == default cb: no geometry signal.
+    const SPAN: u64 = 16 << 20;
+
+    #[test]
+    fn knob_moves_need_consistent_signals() {
+        if env_pinned() {
+            return;
+        }
+        let mut t = Tuner::new(&Hints::default());
+        let h0 = t.plan_hints(0);
+        assert!(!h0.two_phase_pipeline);
+        t.record(0, io_bound(SPAN));
+        // op 1's decision sees one io-bound op: cold start (profile off
+        // here) establishes the baseline, no move yet
+        let h1 = t.plan_hints(1);
+        assert!(!h1.two_phase_pipeline);
+        t.record(1, io_bound(SPAN));
+        // one consistent signal — still below K_CONSISTENT
+        let h2 = t.plan_hints(2);
+        assert!(!h2.two_phase_pipeline);
+        t.record(2, io_bound(SPAN));
+        // second consistent signal: the move fires
+        let h3 = t.plan_hints(3);
+        assert!(h3.two_phase_pipeline, "{:?}", t.report().decisions);
+        assert_eq!(t.report().decisions.last().unwrap().action, "move");
+    }
+
+    #[test]
+    fn regressing_trial_reverts_and_blocks() {
+        if env_pinned() {
+            return;
+        }
+        let mut t = Tuner::new(&Hints::default());
+        for op in 0..3 {
+            t.plan_hints(op);
+            t.record(op, io_bound(SPAN));
+        }
+        let h = t.plan_hints(3);
+        assert!(h.two_phase_pipeline);
+        // the trial op regresses 3x: revert
+        t.record(
+            3,
+            OpOutcome {
+                wall_ns: 3_000_000,
+                ..io_bound(SPAN)
+            },
+        );
+        let h = t.plan_hints(4);
+        assert!(!h.two_phase_pipeline);
+        let r = t.report();
+        assert_eq!(r.decisions.last().unwrap().action, "revert");
+        // the blocked move never fires again despite io-bound signals
+        for op in 4..12 {
+            t.record(op, io_bound(SPAN));
+            let h = t.plan_hints(op + 1);
+            assert!(!h.two_phase_pipeline);
+        }
+        assert!(t.report().settled, "{:?}", t.report().decisions);
+        assert_eq!(t.report().current, t.report().initial);
+    }
+
+    #[test]
+    fn improving_trial_commits_then_escalates_depth() {
+        if env_pinned() {
+            return;
+        }
+        let mut t = Tuner::new(&Hints::default());
+        for op in 0..3 {
+            t.plan_hints(op);
+            t.record(op, io_bound(SPAN));
+        }
+        let h = t.plan_hints(3);
+        assert!(h.two_phase_pipeline);
+        assert_eq!(h.pipeline_depth, 2);
+        // trial improves and the windows genuinely overlap (20% of phase
+        // time — above the under-lap floor): commit, then two more
+        // io-bound ops escalate depth
+        t.record(
+            3,
+            OpOutcome {
+                wall_ns: 600_000,
+                overlap_ns: 200_000,
+                ..io_bound(SPAN)
+            },
+        );
+        for op in 4..8 {
+            t.plan_hints(op);
+            t.record(
+                op,
+                OpOutcome {
+                    wall_ns: 600_000,
+                    overlap_ns: 200_000,
+                    ..io_bound(SPAN)
+                },
+            );
+        }
+        let h = t.plan_hints(8);
+        assert!(h.two_phase_pipeline);
+        assert_eq!(h.pipeline_depth, 4, "{:?}", t.report().decisions);
+    }
+
+    #[test]
+    fn underlap_sheds_the_pipeline() {
+        if env_pinned() {
+            return;
+        }
+        let mut t = Tuner::new(&Hints::default().pipelined(true).pipeline_depth(4));
+        for op in 0..8 {
+            let h = t.plan_hints(op);
+            t.record(op, io_bound(SPAN)); // pipelined, overlap_ns == 0
+            if !h.two_phase_pipeline {
+                break;
+            }
+        }
+        let h = t.plan_hints(8);
+        assert!(
+            !h.two_phase_pipeline,
+            "zero overlap under pipelining must shed the pipeline: {:?}",
+            t.report().decisions
+        );
+        assert!(t
+            .report()
+            .decisions
+            .iter()
+            .any(|d| d.signal.contains("under-lap")));
+    }
+
+    #[test]
+    fn aborted_ops_are_discarded() {
+        if env_pinned() {
+            return;
+        }
+        let mut t = Tuner::new(&Hints::default());
+        t.plan_hints(0);
+        t.record_aborted(0);
+        let h1 = t.plan_hints(1);
+        assert_eq!(h1, Hints::default());
+        let r = t.report();
+        assert_eq!(r.discarded, 1);
+        assert!(r.decisions.iter().all(|d| d.action != "move"));
+    }
+
+    #[test]
+    fn stale_reports_are_dropped() {
+        if env_pinned() {
+            return;
+        }
+        let mut t = Tuner::new(&Hints::default());
+        t.plan_hints(0);
+        t.record(0, io_bound(SPAN));
+        t.plan_hints(1);
+        t.plan_hints(2);
+        // op 0's decision already ran: a straggler report is stale
+        t.record(0, io_bound(SPAN));
+        assert_eq!(t.report().stale_reports, 1);
+    }
+
+    #[test]
+    fn cb_mismatch_steps_toward_target() {
+        if env_pinned() {
+            return;
+        }
+        // span 512 KiB → target 128 KiB; default cb 4 MiB is > 4× target
+        let span = 512 << 10;
+        let mut t = Tuner::new(&Hints::default());
+        let mut cb = Hints::default().cb_buffer_size;
+        for op in 0..32 {
+            let h = t.plan_hints(op);
+            assert!(h.cb_buffer_size <= cb, "cb only shrinks");
+            cb = h.cb_buffer_size;
+            t.record(
+                op,
+                OpOutcome {
+                    write: true,
+                    wall_ns: 1_000_000,
+                    exchange_ns: 400_000,
+                    io_ns: 400_000,
+                    pack_ns: 200_000,
+                    overlap_ns: 0,
+                    bytes: span / 4,
+                    span,
+                },
+            );
+        }
+        // within 4× of target (128 KiB): 512 KiB
+        assert_eq!(cb, 512 << 10, "{:?}", t.report().decisions);
+        assert!(t.report().settled);
+    }
+
+    #[test]
+    fn apply_settings_maps_advisor_strings() {
+        let recs = vec![
+            Recommendation {
+                rule: "pipelining",
+                setting: "two_phase_pipeline=enable, pipeline_depth=4".to_string(),
+                reason: String::new(),
+            },
+            Recommendation {
+                rule: "cb_buffer_size",
+                setting: "cb_buffer_size=1048576".to_string(),
+                reason: String::new(),
+            },
+            Recommendation {
+                rule: "sieving",
+                setting: "sieving=direct".to_string(),
+                reason: String::new(),
+            },
+        ];
+        let h = apply_settings(Hints::default(), &recs);
+        assert!(h.two_phase_pipeline);
+        assert_eq!(h.pipeline_depth, 4);
+        assert_eq!(h.cb_buffer_size, 1 << 20);
+        assert_eq!(h.sieving, crate::SievingMode::Direct);
+    }
+}

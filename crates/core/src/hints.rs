@@ -189,6 +189,14 @@ pub struct Hints {
     /// The `LIO_BACKEND` environment variable overrides this hint (see
     /// [`Hints::effective_backend`]).
     pub backend: BackendKind,
+    /// Online knob adaptation: `Some(true)` arms the per-file tuner
+    /// ([`crate::autotune`]), which retunes the *next* collective op's
+    /// effective knobs from each op's critical-path breakdown; `Some(false)`
+    /// forces it off; `None` (the default) defers to the `LIO_AUTOTUNE`
+    /// environment variable (see [`Hints::autotune_enabled`]). The tuner
+    /// changes *performance* knobs only — file bytes are identical with or
+    /// without it (pinned by the differential corpus).
+    pub autotune: Option<bool>,
 }
 
 impl Hints {
@@ -209,6 +217,7 @@ impl Hints {
             trace: None,
             profile: None,
             backend: BackendKind::Mem,
+            autotune: None,
         }
     }
 
@@ -270,6 +279,29 @@ impl Hints {
     pub fn profiling(mut self, on: bool) -> Hints {
         self.profile = Some(on);
         self
+    }
+
+    /// Arm or disarm the online knob tuner at open time (builder style).
+    /// The default (`None`) defers to the `LIO_AUTOTUNE` environment
+    /// variable (see [`Hints::autotune_enabled`]).
+    pub fn autotune(mut self, on: bool) -> Hints {
+        self.autotune = Some(on);
+        self
+    }
+
+    /// Whether opens with these hints arm the online knob tuner, honoring
+    /// the `LIO_AUTOTUNE` environment override: `1`/`on`/`true`/`enable`
+    /// forces it on, `0`/`off`/`false`/`disable` forces it off, anything
+    /// else (or unset) defers to the `autotune` hint (off when `None`).
+    pub fn autotune_enabled(&self) -> bool {
+        match std::env::var("LIO_AUTOTUNE") {
+            Ok(v) => match v.as_str() {
+                "1" | "on" | "true" | "enable" => true,
+                "0" | "off" | "false" | "disable" => false,
+                _ => self.autotune == Some(true),
+            },
+            Err(_) => self.autotune == Some(true),
+        }
     }
 
     /// Select the storage backend for backend-aware opens (builder
@@ -554,6 +586,13 @@ impl Hints {
                         _ => return Err(HintError::new(k, v, "expected enable or disable")),
                     }
                 }
+                "lio_autotune" => {
+                    self.autotune = match v {
+                        "enable" | "true" | "1" => Some(true),
+                        "disable" | "false" | "0" => Some(false),
+                        _ => return Err(HintError::new(k, v, "expected enable or disable")),
+                    }
+                }
                 _ => {} // unknown keys are ignored, like MPI_Info
             }
         }
@@ -634,6 +673,12 @@ impl Hints {
         if let Some(on) = self.profile {
             pairs.push((
                 "lio_profile".to_string(),
+                if on { "enable" } else { "disable" }.to_string(),
+            ));
+        }
+        if let Some(on) = self.autotune {
+            pairs.push((
+                "lio_autotune".to_string(),
                 if on { "enable" } else { "disable" }.to_string(),
             ));
         }
@@ -799,6 +844,41 @@ mod info_tests {
             .apply_info(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
             .unwrap();
         assert_eq!(back.profile, Some(true));
+    }
+
+    #[test]
+    fn autotune_info_key() {
+        let h = Hints::default()
+            .apply_info([("lio_autotune", "enable")])
+            .unwrap();
+        assert_eq!(h.autotune, Some(true));
+        let h = Hints::default()
+            .apply_info([("lio_autotune", "0")])
+            .unwrap();
+        assert_eq!(h.autotune, Some(false));
+        assert!(Hints::default()
+            .apply_info([("lio_autotune", "maybe")])
+            .is_err());
+        // absent by default, emitted (and round-tripped) only when forced
+        assert!(Hints::default()
+            .to_info()
+            .iter()
+            .all(|(k, _)| k != "lio_autotune"));
+        let pairs = Hints::default().autotune(true).to_info();
+        let back = Hints::list_based()
+            .apply_info(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+            .unwrap();
+        assert_eq!(back.autotune, Some(true));
+    }
+
+    #[test]
+    fn autotune_env_defers_to_hint() {
+        if std::env::var("LIO_AUTOTUNE").is_ok() {
+            return; // the env override legitimately wins
+        }
+        assert!(!Hints::default().autotune_enabled());
+        assert!(Hints::default().autotune(true).autotune_enabled());
+        assert!(!Hints::default().autotune(false).autotune_enabled());
     }
 
     #[test]

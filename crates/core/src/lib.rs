@@ -38,6 +38,7 @@
 //! assert_eq!(shared.len(), 64);
 //! ```
 
+pub mod autotune;
 pub mod error;
 pub mod file;
 pub mod hints;
@@ -47,6 +48,7 @@ pub mod sieve;
 pub mod twophase;
 pub mod view;
 
+pub use autotune::{TuneDecision, TuneOp, TuneReport, Tuner};
 pub use error::{IoError, Result};
 pub use file::{File, SharedFile};
 pub use hints::{BackendKind, Engine, HintError, Hints, PackKernel, SievingMode};

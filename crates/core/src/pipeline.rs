@@ -39,6 +39,7 @@ use lio_mpi::Comm;
 use lio_obs::{LazyCounter, LazyGauge};
 use lio_pfs::{SqBuf, Sqe, StorageFile, SubmissionQueue};
 
+use crate::autotune::{FileTuner, OpOutcome};
 use crate::error::{IoError, Result};
 use crate::hints::{Engine, Hints};
 use crate::packer::MemPacker;
@@ -994,6 +995,7 @@ pub(crate) fn write_at_all(
     stream_start: u64,
     total: u64,
     hints: &Hints,
+    tuner: Option<&FileTuner>,
 ) -> Result<u64> {
     let engine = match nav {
         ViewNav::List(_) => Engine::ListBased,
@@ -1126,6 +1128,28 @@ pub(crate) fn write_at_all(
         fatal = iop.take().and_then(|s| s.fatal);
     });
 
+    // Tuner outcome: before the closing barrier, so every rank's report
+    // is merged before the next op's decision runs.
+    if let Some(tu) = tuner {
+        match &fatal {
+            Some(_) => tu.abort_op(),
+            None => {
+                let wall = lio_obs::elapsed_ns(t_all);
+                let io_ns = io_lane_ns.load(Ordering::Relaxed);
+                let exch_ns = wall.saturating_sub(pack_ns + io_wait_ns);
+                tu.finish_op(OpOutcome {
+                    write: true,
+                    wall_ns: wall,
+                    exchange_ns: exch_ns,
+                    io_ns,
+                    pack_ns,
+                    overlap_ns: (exch_ns + pack_ns + io_ns).saturating_sub(wall),
+                    bytes: total,
+                    span: domains.iter().map(|d| d.1.saturating_sub(d.0)).sum(),
+                });
+            }
+        }
+    }
     comm.barrier();
     if obs {
         let wall = lio_obs::elapsed_ns(t_all);
@@ -1161,6 +1185,7 @@ pub(crate) fn read_at_all(
     stream_start: u64,
     total: u64,
     hints: &Hints,
+    tuner: Option<&FileTuner>,
 ) -> Result<u64> {
     let engine = match nav {
         ViewNav::List(_) => Engine::ListBased,
@@ -1363,6 +1388,28 @@ pub(crate) fn read_at_all(
         OBS_R_PACK_NS.add(pack_ns);
         OBS_R_IO_NS.add(io_ns);
         OBS_R_OVERLAP_NS.add((exch_ns + pack_ns + io_ns).saturating_sub(wall));
+    }
+    // Tuner outcome (reads have no closing barrier: straggler reports
+    // are dropped as stale by the tuner).
+    if let Some(tu) = tuner {
+        match &fatal {
+            Some(_) => tu.abort_op(),
+            None => {
+                let wall = lio_obs::elapsed_ns(t_all);
+                let io_ns = io_lane_ns.load(Ordering::Relaxed);
+                let exch_ns = wall.saturating_sub(pack_ns + io_wait_ns);
+                tu.finish_op(OpOutcome {
+                    write: false,
+                    wall_ns: wall,
+                    exchange_ns: exch_ns,
+                    io_ns,
+                    pack_ns,
+                    overlap_ns: (exch_ns + pack_ns + io_ns).saturating_sub(wall),
+                    bytes: total,
+                    span: domains.iter().map(|d| d.1.saturating_sub(d.0)).sum(),
+                });
+            }
+        }
     }
     match fatal {
         Some(e) => {

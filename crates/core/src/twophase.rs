@@ -38,6 +38,7 @@ use lio_mpi::Comm;
 use lio_obs::LazyCounter;
 use lio_pfs::StorageFile;
 
+use crate::autotune::{FileTuner, OpOutcome};
 use crate::error::{IoError, Result};
 use crate::hints::{Engine, Hints};
 use crate::packer::MemPacker;
@@ -496,6 +497,7 @@ pub(crate) fn write_at_all(
     stream_start: u64,
     total: u64,
     hints: &Hints,
+    tuner: Option<&FileTuner>,
 ) -> Result<u64> {
     // the root trace span delimiting this collective op (both schedules):
     // the critical-path analyzer keys on its tag
@@ -511,8 +513,10 @@ pub(crate) fn write_at_all(
             stream_start,
             total,
             hints,
+            tuner,
         );
     }
+    let t_op = lio_obs::now();
     let engine = match nav {
         ViewNav::List(_) => Engine::ListBased,
         ViewNav::Ff(_) => Engine::Listless,
@@ -589,9 +593,11 @@ pub(crate) fn write_at_all(
     // (All AP→IOP messages were received above the window loop, so an
     // aborted IOP leaves nothing in flight.)
     let mut fatal: Option<IoError> = None;
+    let mut iop_io = 0u64;
+    let mut iop_pack = 0u64;
     if me < naggr && domains[me].1 > domains[me].0 {
         let dom = domains[me];
-        let res: Result<()> = (|| {
+        let res: Result<(u64, u64)> = (|| {
             match engine {
                 Engine::ListBased => {
                     // Complete receives in arrival order (no head-of-line
@@ -658,8 +664,31 @@ pub(crate) fn write_at_all(
                 }
             }
         })();
-        if let Err(e) = res {
-            fatal = Some(e);
+        match res {
+            Ok((io, p)) => {
+                iop_io = io;
+                iop_pack = p;
+            }
+            Err(e) => fatal = Some(e),
+        }
+    }
+
+    // Tuner outcome: reported *before* the closing barrier, so when the
+    // decision for the next op runs, every rank's report for this op has
+    // already been merged (writes always aggregate completely).
+    if let Some(tu) = tuner {
+        match &fatal {
+            Some(_) => tu.abort_op(),
+            None => tu.finish_op(OpOutcome {
+                write: true,
+                wall_ns: lio_obs::elapsed_ns(t_op),
+                exchange_ns: exch_ns,
+                io_ns: iop_io,
+                pack_ns: pack_ns + iop_pack,
+                overlap_ns: 0,
+                bytes: total,
+                span: domains.iter().map(|d| d.1.saturating_sub(d.0)).sum(),
+            }),
         }
     }
 
@@ -688,12 +717,12 @@ fn iop_write_listbased(
     dom: (u64, u64),
     recv: &mut [RecvList],
     hints: &Hints,
-) -> Result<()> {
+) -> Result<(u64, u64)> {
     // clip the domain to where data actually lands
     let lo = recv.iter().filter_map(|r| r.next_offset()).min();
     let hi = recv.iter().filter_map(|r| r.end_offset()).max();
     let (Some(lo), Some(hi)) = (lo, hi) else {
-        return Ok(());
+        return Ok((0, 0));
     };
     let lo = lo.max(dom.0);
     let hi = hi.min(dom.1);
@@ -748,17 +777,18 @@ fn iop_write_listbased(
         OBS_W_PACK_NS.add(pack_ns);
         OBS_WINDOWS.add(windows);
     }
-    Ok(())
+    Ok((io_ns, pack_ns))
 }
 
-/// IOP write loop, listless placement via cached fileviews.
+/// IOP write loop, listless placement via cached fileviews. Returns the
+/// `(io_ns, pack_ns)` phase breakdown for the tuner.
 fn iop_write_listless(
     storage: &dyn StorageFile,
     dom: (u64, u64),
     placements: &mut [FfPlacement],
     state: &CollState,
     hints: &Hints,
-) -> Result<()> {
+) -> Result<(u64, u64)> {
     // clip the domain to where data actually lands
     let lo = placements
         .iter()
@@ -771,7 +801,7 @@ fn iop_write_listless(
         .map(|p| p.nav.stream_to_abs(p.s_hi - 1) + 1)
         .max();
     let (Some(lo), Some(hi)) = (lo, hi) else {
-        return Ok(());
+        return Ok((0, 0));
     };
     let lo = lo.max(dom.0);
     let hi = hi.min(dom.1);
@@ -845,7 +875,7 @@ fn iop_write_listless(
         OBS_W_PACK_NS.add(pack_ns);
         OBS_WINDOWS.add(windows);
     }
-    Ok(())
+    Ok((io_ns, pack_ns))
 }
 
 /// Collective read. Every rank calls this; fills `user` and returns bytes
@@ -861,6 +891,7 @@ pub(crate) fn read_at_all(
     stream_start: u64,
     total: u64,
     hints: &Hints,
+    tuner: Option<&FileTuner>,
 ) -> Result<u64> {
     // root trace span delimiting this collective op (both schedules)
     let _root = lio_obs::trace::span_ab("coll.read", total, 0);
@@ -875,8 +906,10 @@ pub(crate) fn read_at_all(
             stream_start,
             total,
             hints,
+            tuner,
         );
     }
+    let t_op = lio_obs::now();
     let engine = match nav {
         ViewNav::List(_) => Engine::ListBased,
         ViewNav::Ff(_) => Engine::Listless,
@@ -1142,6 +1175,24 @@ pub(crate) fn read_at_all(
         OBS_R_EXCH_NS.add(exch_ns);
         OBS_R_IO_NS.add(io_ns);
         OBS_R_PACK_NS.add(pack_ns);
+    }
+    // Tuner outcome. Reads have no closing barrier, so a rank may report
+    // after the next op's decision already ran — such stragglers are
+    // dropped as stale by the tuner (partial aggregation by design).
+    if let Some(tu) = tuner {
+        match &fatal {
+            Some(_) => tu.abort_op(),
+            None => tu.finish_op(OpOutcome {
+                write: false,
+                wall_ns: lio_obs::elapsed_ns(t_op),
+                exchange_ns: exch_ns,
+                io_ns,
+                pack_ns,
+                overlap_ns: 0,
+                bytes: total,
+                span: domains.iter().map(|d| d.1.saturating_sub(d.0)).sum(),
+            }),
+        }
     }
     match fatal {
         Some(e) => {

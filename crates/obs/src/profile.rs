@@ -988,6 +988,19 @@ fn rule_pipelining(p: &ProfileSnapshot) -> Option<Recommendation> {
     }
 }
 
+/// The collective-buffer size the advisor targets for a given per-op
+/// file-domain span: ~4 windows per op — enough to pipeline, small
+/// enough to keep the exchange lists per window bounded — clamped to
+/// [64 KiB, 16 MiB]. Shared by [`rule_cb_buffer`] in `RULES` and the
+/// online tuner (`lio_core::autotune`) so the threshold lives in exactly
+/// one place.
+pub fn cb_target(span_per_op: u64) -> u64 {
+    (span_per_op / 4)
+        .max(1)
+        .next_power_of_two()
+        .clamp(64 * 1024, 16 * 1024 * 1024)
+}
+
 fn rule_cb_buffer(p: &ProfileSnapshot) -> Option<Recommendation> {
     if !p.has_collective() || p.domains.ops == 0 {
         return None;
@@ -996,10 +1009,7 @@ fn rule_cb_buffer(p: &ProfileSnapshot) -> Option<Recommendation> {
     if span_per_op == 0 {
         return None;
     }
-    // target 4–8 windows per op: enough to pipeline, small enough to
-    // keep the exchange lists per window bounded
-    let target = (span_per_op / 4).next_power_of_two();
-    let cb = target.clamp(64 * 1024, 16 * 1024 * 1024);
+    let cb = cb_target(span_per_op);
     let coverage = p.domains.coverage();
     let dense = if coverage >= 0.9 {
         " (dense coverage: the covered-window write optimization skips the read-back)"
@@ -1182,22 +1192,13 @@ pub fn recommendations_json(recs: &[Recommendation]) -> String {
     out
 }
 
-#[cfg(test)]
-mod tests {
+/// Canned, pinned [`ProfileSnapshot`]s for the repro's fig5/fig6
+/// workload shapes. These are the reference inputs for advisor tests
+/// *and* for the tuner cold-start regression test in `lio-core` (which
+/// pins advisor output == tuner cold-start choice), so they live in the
+/// public API rather than behind `cfg(test)`.
+pub mod fixtures {
     use super::*;
-    use std::sync::Mutex;
-
-    /// Serialize tests touching the global profile state.
-    fn with_profile<R>(f: impl FnOnce() -> R) -> R {
-        static GATE: Mutex<()> = Mutex::new(());
-        let _g = GATE.lock().unwrap();
-        reset();
-        set_enabled(true);
-        let r = f();
-        set_enabled(false);
-        reset();
-        r
-    }
 
     fn empty_hist() -> HistogramSnapshot {
         HistogramSnapshot {
@@ -1220,9 +1221,9 @@ mod tests {
         }
     }
 
-    /// A pinned fixture: exchange-bound pipelinable collective write
-    /// through a non-contiguous interleaved view with small runs.
-    fn fixture_collective_small_runs() -> ProfileSnapshot {
+    /// Fig6 shape: exchange-bound pipelinable collective write through a
+    /// non-contiguous interleaved view with small runs.
+    pub fn fig6_collective_small_runs() -> ProfileSnapshot {
         ProfileSnapshot {
             ops: vec![
                 ("ind_write", OpStats::default()),
@@ -1286,9 +1287,9 @@ mod tests {
         }
     }
 
-    /// A pinned fixture: sparse large-block independent access where
-    /// direct I/O and large-copy sharding win.
-    fn fixture_independent_sparse_large() -> ProfileSnapshot {
+    /// Fig5 shape: sparse large-block independent access where direct
+    /// I/O and large-copy sharding win.
+    pub fn fig5_independent_sparse_large() -> ProfileSnapshot {
         ProfileSnapshot {
             ops: vec![
                 (
@@ -1336,6 +1337,28 @@ mod tests {
             coll_write: PhaseNs::default(),
             coll_read: PhaseNs::default(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fixtures::{
+        fig5_independent_sparse_large as fixture_independent_sparse_large,
+        fig6_collective_small_runs as fixture_collective_small_runs,
+    };
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serialize tests touching the global profile state.
+    fn with_profile<R>(f: impl FnOnce() -> R) -> R {
+        static GATE: Mutex<()> = Mutex::new(());
+        let _g = GATE.lock().unwrap();
+        reset();
+        set_enabled(true);
+        let r = f();
+        set_enabled(false);
+        reset();
+        r
     }
 
     #[test]
