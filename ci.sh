@@ -94,6 +94,17 @@ LIO_TRACE=1 cargo test -q -p lio-core --test collective --test pipeline
 echo "== trace correctness tests"
 cargo test -q -p lio-core --test trace
 
+# Runtime health layer: the collective + pipeline + fault suites once
+# more with heartbeats armed on every file (catches health-enabled-only
+# panics and watchdog false positives across the differential corpus),
+# then the dedicated hang-injection suite under a hard timeout so a
+# watchdog regression can never wedge CI itself.
+echo "== collective/pipeline/faults suites under LIO_HEALTH=1"
+LIO_HEALTH=1 cargo test -q -p lio-core --test collective --test pipeline --test faults
+
+echo "== hang-injection suite (hard 300 s timeout)"
+timeout 300 cargo test -q -p lio-core --test health
+
 # repro trace must produce a well-formed Perfetto timeline whose
 # critical-path report names a bounding phase.
 echo "== repro trace + validate-json"
@@ -135,6 +146,12 @@ LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench trace_overhead
 # disabled the record hooks must be within run-to-run noise.
 echo "== profile_overhead gate"
 LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench profile_overhead
+
+# Health overhead: same noise-floor structure — with the layer disabled
+# every heartbeat site is one relaxed atomic load and must be within
+# run-to-run noise (<2%).
+echo "== health_overhead gate"
+LIO_BENCH_FAST=1 cargo bench -q -p lio-bench --bench health_overhead
 
 # Submission-queue backend overhead gate: on contiguous page-aligned
 # 4 MiB transfers the OsFile layer must stay within 5% of a direct

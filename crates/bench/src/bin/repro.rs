@@ -90,6 +90,7 @@ fn main() {
         "throttle" => throttle(&opts),
         "tileio" => tileio(&opts),
         "metrics" => metrics(&opts),
+        "top" => top_cmd(&opts),
         "trace" => trace_cmd(&opts),
         "profile" => profile_cmd(&opts),
         "bench" => bench_cmd(&opts),
@@ -117,7 +118,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro fig5|fig6|fig7|fig8|table1|table2|table3|overheads|multidim|ablation|throttle|tileio|metrics|trace|profile|bench|autotune|all \
+        "usage: repro fig5|fig6|fig7|fig8|table1|table2|table3|overheads|multidim|ablation|throttle|tileio|metrics|top|trace|profile|bench|autotune|all \
          [--quick] [--data BYTES]\n       repro validate-json <file>\n       repro bench-compare [--fail] <baseline.json> <current.json>"
     );
     std::process::exit(2);
@@ -782,6 +783,16 @@ fn metrics(opts: &Opts) {
             false,
         ));
     }
+    // the health column: the same collective with the runtime health
+    // layer armed (heartbeats, skew tracking, watchdog in diagnose-only
+    // mode) — a small window size so every op closes several skew windows
+    for (engine, ename) in ENGINES.iter() {
+        configs.push((
+            format!("{}_health", ename.replace('-', "_")),
+            Hints::with_engine(*engine).cb_buffer(4 << 10).health(true),
+            false,
+        ));
+    }
     // listless with a nested non-contiguous memtype big enough to cross
     // the sharding threshold: exercises the compiled run programs
     // (`dt.compile.*`) and the sharded copy (`dt.pack.shard.*`)
@@ -796,6 +807,13 @@ fn metrics(opts: &Opts) {
     for (i, (key, hints, throttled)) in configs.iter().enumerate() {
         lio_obs::reset();
         lio_obs::set_enabled(true);
+        let health_on = hints.health == Some(true);
+        lio_obs::health::reset();
+        lio_obs::health::set_enabled(health_on);
+        if health_on {
+            // diagnose-only with a deadline this workload cannot trip
+            lio_obs::health::set_watchdog(30_000, false);
+        }
         let slow = Throttle {
             read_bw: 2e9,
             write_bw: 2e9,
@@ -939,7 +957,56 @@ fn metrics(opts: &Opts) {
                     entries.push(e(&format!("pfs_{short}_p99"), h.p99() as f64, "bytes"));
                 }
             }
+            if health_on {
+                let hr = lio_obs::health::report();
+                println!(
+                    "  {key}: health {} beats, watchdog {} checks / {} fired, {} straggler flags",
+                    snap.counter("core.health.beats"),
+                    hr.watchdog_checks,
+                    hr.watchdog_fired,
+                    hr.straggler_flags,
+                );
+                entries.push(e(
+                    "health_beats",
+                    snap.counter("core.health.beats") as f64,
+                    "count",
+                ));
+                entries.push(e(
+                    "health_watchdog_checks",
+                    hr.watchdog_checks as f64,
+                    "count",
+                ));
+                entries.push(e(
+                    "health_watchdog_fired",
+                    hr.watchdog_fired as f64,
+                    "count",
+                ));
+                entries.push(e(
+                    "health_stalls_aborted",
+                    hr.stalls_aborted as f64,
+                    "count",
+                ));
+                entries.push(e(
+                    "health_straggler_flags",
+                    hr.straggler_flags as f64,
+                    "count",
+                ));
+                if let Some(h) = snap.histogram("core.health.skew_ns") {
+                    println!(
+                        "  {key}: window rank-skew p50/p95/p99 = {}/{}/{} ns ({} windows)",
+                        h.p50(),
+                        h.p95(),
+                        h.p99(),
+                        h.count,
+                    );
+                    entries.push(e("health_skew_p50_ns", h.p50() as f64, "ns"));
+                    entries.push(e("health_skew_p95_ns", h.p95() as f64, "ns"));
+                    entries.push(e("health_skew_p99_ns", h.p99() as f64, "ns"));
+                    entries.push(e("health_skew_windows", h.count as f64, "count"));
+                }
+            }
         }
+        lio_obs::health::set_enabled(false);
         let sep = if i + 1 < configs.len() { "," } else { "" };
         writeln!(json, "  \"{key}\": {}{sep}", snap.to_json()).unwrap();
     }
@@ -955,6 +1022,91 @@ fn metrics(opts: &Opts) {
             ("sblock", sblock.to_string()),
         ],
     );
+}
+
+/// `repro top`: live per-rank health introspection. Runs a 4-rank
+/// pipelined collective write + read on throttled storage with the
+/// runtime health layer armed, samples the lock-free heartbeat slots
+/// while the collective is in flight (phase, window, bytes, queue depth,
+/// heartbeat age per rank — the batch rendering of a `top`-style view),
+/// and writes the final schema-versioned health report to
+/// `results/health.json`.
+fn top_cmd(opts: &Opts) {
+    use lio_core::{File, Hints, SharedFile};
+    use lio_datatype::Datatype;
+    use lio_mpi::World;
+    use lio_obs::health;
+    use lio_pfs::{MemFile, Throttle, ThrottledFile};
+    use std::time::Duration;
+
+    let nprocs = 4usize;
+    let nblock: u64 = if opts.quick { 128 } else { 512 };
+    let sblock: u64 = 64;
+    let steps: u64 = if opts.quick { 2 } else { 4 };
+    let total = 16 * nblock * sblock;
+    println!("# top: per-rank health snapshots over a 4-rank throttled collective run");
+
+    // consume the one-shot env checks, then force the layer on: this
+    // subcommand exists to show heartbeats
+    lio_obs::init_from_env();
+    health::init_from_env();
+    health::reset();
+    health::set_enabled(true);
+    health::set_watchdog(30_000, false);
+
+    let slow = Throttle {
+        read_bw: 1e9,
+        write_bw: 1e9,
+        latency: Duration::from_millis(1),
+    };
+    let shared = SharedFile::new(ThrottledFile::new(MemFile::new(), slow));
+    let hints = Hints::listless()
+        .cb_buffer(4 << 10)
+        .pipelined(true)
+        .pipeline_depth(2)
+        .health(true);
+    let worker = std::thread::spawn(move || {
+        World::run(nprocs, move |comm| {
+            let me = comm.rank() as u64;
+            let mut f = File::open(comm, shared.clone(), hints).expect("open");
+            let ft = lio_noncontig::figure4_filetype(me, nprocs as u64, nblock, sblock);
+            f.set_view(0, Datatype::byte(), ft).expect("set_view");
+            for s in 0..steps {
+                let data = vec![(me + s) as u8 + 1; total as usize];
+                f.write_at_all(s * total, &data, total, &Datatype::byte())
+                    .expect("write");
+            }
+            let mut back = vec![0u8; total as usize];
+            f.read_at_all(0, &mut back, total, &Datatype::byte())
+                .expect("read");
+        });
+    });
+
+    // sample the slots while the collective runs: each frame is a
+    // consistent-enough relaxed read of every rank's heartbeat slot
+    let mut frames = 0u32;
+    let t0 = std::time::Instant::now();
+    while !worker.is_finished() && frames < 40 {
+        std::thread::sleep(Duration::from_millis(50));
+        let rep = health::report();
+        if rep.ranks.is_empty() {
+            continue;
+        }
+        frames += 1;
+        println!("-- frame {frames} (t+{} ms)", t0.elapsed().as_millis());
+        print!("{}", rep.render());
+    }
+    worker.join().expect("collective worker");
+
+    let rep = health::report();
+    println!("-- final ({frames} in-flight frames sampled)");
+    print!("{}", rep.render());
+    let json = rep.to_json();
+    lio_obs::json::validate(&json).expect("health export must be well-formed JSON");
+    fs::write("results/health.json", &json).expect("write health json");
+    println!("  -> results/health.json");
+    health::set_enabled(false);
+    health::reset();
 }
 
 /// `repro bench`: regenerate the schema-versioned pipeline bench
@@ -996,6 +1148,12 @@ fn trace_cmd(opts: &Opts) {
     lio_obs::set_enabled(true);
     trace::set_enabled(true);
     trace::reset();
+    // health armed too: the critical-path report then carries the
+    // per-rank window-skew attribution alongside the bounding phases
+    lio_obs::health::init_from_env();
+    lio_obs::health::reset();
+    lio_obs::health::set_enabled(true);
+    lio_obs::health::set_watchdog(30_000, false);
 
     let slow = Throttle {
         read_bw: 2e9,
@@ -1038,6 +1196,8 @@ fn trace_cmd(opts: &Opts) {
         timeline.causal_violations,
     );
     print!("{}", trace::render_report(&reports, &timeline));
+    lio_obs::health::set_enabled(false);
+    lio_obs::health::reset();
 
     let json = trace::to_chrome_json(&timeline);
     lio_obs::json::validate(&json).expect("trace export must be well-formed JSON");

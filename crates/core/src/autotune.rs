@@ -194,6 +194,12 @@ enum SignalKind {
     /// Pipelined, but the windows barely overlap: the depth buys window
     /// overhead without hiding anything.
     Underlap,
+    /// The health layer flagged one rank as persistently arriving last
+    /// (skew streak over [`lio_obs::health::STRAGGLER_K`] windows): the
+    /// collective is gated on a laggard, not on aggregate bandwidth.
+    SlowRank {
+        rank: u32,
+    },
 }
 
 impl SignalKind {
@@ -228,6 +234,9 @@ impl SignalKind {
                 "under-lap: pipelined but overlap is {:.0}% of phase time",
                 agg.overlap as f64 / total * 100.0
             ),
+            SignalKind::SlowRank { rank } => {
+                format!("rank {rank} persistently arrives last (health skew streak)")
+            }
         }
     }
 }
@@ -310,8 +319,12 @@ pub struct TunerState {
     streak: u32,
     quiet: u32,
     settled: bool,
-    /// (knob, direction) pairs that reverted once: never retried.
+    /// (knob, direction) pairs that reverted once: never retried (until
+    /// a workload shift clears the slate — see [`TunerState::ingest`]).
     blocked: Vec<(Knob, i8)>,
+    /// Health-layer dominant-phase detector: a sustained shift after the
+    /// tuner settled re-opens the search (PR 9 follow-on).
+    shift: lio_obs::health::ShiftDetector,
     report: TuneReport,
 }
 
@@ -356,6 +369,7 @@ impl TunerState {
             quiet: 0,
             settled: false,
             blocked: Vec::new(),
+            shift: lio_obs::health::ShiftDetector::new(),
             report: TuneReport::default(),
         }
     }
@@ -505,6 +519,29 @@ impl TunerState {
             return;
         }
         let wall = agg.wall_max as f64;
+        // Workload-shift re-tuning: every clean op's phase breakdown
+        // feeds the health layer's dominant-phase detector. A sustained
+        // shift after the tuner settled re-opens the search — including
+        // moves blocked by a revert, since that regression was measured
+        // on the old workload.
+        if self.shift.observe(agg.exch, agg.io, agg.pack) && self.settled {
+            self.settled = false;
+            self.quiet = 0;
+            self.streak = 0;
+            self.last_signal = None;
+            self.blocked.clear();
+            trace::mark("tune.unsettle", op, 0);
+            self.push_decision(
+                op,
+                "unsettle",
+                self.knobs.summary(),
+                format!(
+                    "sustained phase-distribution shift ({} consecutive ops)",
+                    lio_obs::health::ShiftDetector::PERSISTENCE
+                ),
+                agg.wall_max,
+            );
+        }
         if let Some(tr) = self.trial.take() {
             if tr.baseline_wall > 0.0 && wall > tr.baseline_wall * (1.0 + REVERT_TOL) {
                 OBS_REVERTS.incr();
@@ -615,6 +652,15 @@ impl TunerState {
     }
 
     fn classify(&self, agg: &Agg) -> SignalKind {
+        // A health-flagged straggler outranks every aggregate signal: the
+        // op is gated on one laggard rank, so phase totals mislead. Off
+        // (the default) this is one relaxed load, and the existing
+        // decision sequences are untouched.
+        if lio_obs::health::enabled() {
+            if let Some(s) = lio_obs::health::straggler() {
+                return SignalKind::SlowRank { rank: s.rank };
+            }
+        }
         if agg.span > 0 {
             let target = profile::cb_target(agg.span);
             let cur = self.knobs.cb as u64;
@@ -739,6 +785,34 @@ impl TunerState {
                         "two_phase_pipeline on -> off".to_string(),
                         Knobs {
                             pipelined: false,
+                            ..k
+                        },
+                    ))
+                } else {
+                    None
+                }
+            }
+            SignalKind::SlowRank { .. } => {
+                // A laggard stalls every window the punctual ranks have
+                // already delivered: pipelining (then depth) overlaps its
+                // lateness with storage work instead of serializing on it.
+                if !k.pipelined && self.frozen_pipeline.is_none() && open(Knob::Pipeline, 1) {
+                    Some((
+                        Knob::Pipeline,
+                        1,
+                        "two_phase_pipeline off -> on".to_string(),
+                        Knobs {
+                            pipelined: true,
+                            ..k
+                        },
+                    ))
+                } else if k.pipelined && k.depth < DEPTH_MAX_EXCH && open(Knob::Depth, 1) {
+                    Some((
+                        Knob::Depth,
+                        1,
+                        format!("pipeline_depth {} -> {}", k.depth, k.depth * 2),
+                        Knobs {
+                            depth: (k.depth * 2).min(DEPTH_MAX_EXCH),
                             ..k
                         },
                     ))
@@ -1124,6 +1198,63 @@ mod tests {
         // within 4× of target (128 KiB): 512 KiB
         assert_eq!(cb, 512 << 10, "{:?}", t.report().decisions);
         assert!(t.report().settled);
+    }
+
+    #[test]
+    fn workload_shift_unsettles_and_reopens_blocked_moves() {
+        if env_pinned() {
+            return;
+        }
+        // Listless base so the exchange-bound proposal goes straight to
+        // the (blocked) pipeline knob rather than the engine knob.
+        let base = Hints::with_engine(Engine::Listless);
+        let mut t = Tuner::new(&base);
+        for op in 0..3 {
+            t.plan_hints(op);
+            t.record(op, io_bound(SPAN));
+        }
+        let h = t.plan_hints(3);
+        assert!(h.two_phase_pipeline, "io-bound streak trials the pipeline");
+        // the trial regresses: pipeline-on is reverted and blocked
+        t.record(
+            3,
+            OpOutcome {
+                wall_ns: 3_000_000,
+                ..io_bound(SPAN)
+            },
+        );
+        for op in 4..12 {
+            let h = t.plan_hints(op);
+            assert!(!h.two_phase_pipeline);
+            t.record(op, io_bound(SPAN));
+        }
+        t.plan_hints(12);
+        assert!(t.report().settled, "{:?}", t.report().decisions);
+        // The workload durably shifts to exchange-bound: after
+        // ShiftDetector::PERSISTENCE consecutive shifted ops the tuner
+        // un-settles, clears the block, and re-trials the pipeline.
+        let exch_bound = OpOutcome {
+            exchange_ns: 800_000,
+            io_ns: 150_000,
+            ..io_bound(SPAN)
+        };
+        t.record(12, exch_bound);
+        let mut pipelined = false;
+        for op in 13..24 {
+            let h = t.plan_hints(op);
+            if h.two_phase_pipeline {
+                pipelined = true;
+                break;
+            }
+            t.record(op, exch_bound);
+        }
+        let r = t.report();
+        assert!(
+            r.decisions.iter().any(|d| d.action == "unsettle"),
+            "{:?}",
+            r.decisions
+        );
+        assert!(pipelined, "blocked move must reopen: {:?}", r.decisions);
     }
 
     #[test]

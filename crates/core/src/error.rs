@@ -15,6 +15,12 @@ pub enum IoError {
     /// The call violated an interface contract (wrong buffer size,
     /// unsupported hint combination, ...).
     Usage(String),
+    /// The health watchdog aborted a collective op that made no
+    /// progress past its deadline. Carries the culprit rank, the phase
+    /// it was stuck in, and how far the op had gotten; every peer
+    /// still reached the closing sync before this surfaced (see
+    /// `lio_obs::health`).
+    Stalled(lio_obs::health::StallInfo),
 }
 
 impl fmt::Display for IoError {
@@ -23,6 +29,7 @@ impl fmt::Display for IoError {
             IoError::Storage(e) => write!(f, "storage error: {e}"),
             IoError::Datatype(e) => write!(f, "datatype error: {e}"),
             IoError::Usage(s) => write!(f, "usage error: {s}"),
+            IoError::Stalled(info) => write!(f, "collective I/O stalled: {info}"),
         }
     }
 }
@@ -32,7 +39,7 @@ impl std::error::Error for IoError {
         match self {
             IoError::Storage(e) => Some(e),
             IoError::Datatype(e) => Some(e),
-            IoError::Usage(_) => None,
+            IoError::Usage(_) | IoError::Stalled(_) => None,
         }
     }
 }

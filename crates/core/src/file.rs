@@ -124,6 +124,17 @@ impl SharedFile {
             .as_ref()
             .map(|st| st.report_snapshot())
     }
+
+    /// A point-in-time health report for the ranks working on this
+    /// file: per-rank phase/progress/queue-depth snapshots plus the
+    /// watchdog and straggler aggregates (see `lio_obs::health`).
+    /// The heartbeat slots are process-global, so on a process running
+    /// several files this reports every active rank. Safe to call from
+    /// outside the rank closure while `World::run` is in flight —
+    /// readers never block a heartbeat writer.
+    pub fn health_report(&self) -> lio_obs::health::HealthReport {
+        lio_obs::health::report()
+    }
 }
 
 /// An open file handle for one rank.
@@ -147,6 +158,10 @@ pub struct File<'c> {
     coll_alt: Option<CollState>,
     /// This rank's handle to the shared online tuner, when armed.
     tuner: Option<FileTuner>,
+    /// Collective ops issued through this handle — the health layer's
+    /// op id. Collectives are called in the same order on every rank,
+    /// so the ids align across the world.
+    ops: std::sync::atomic::AtomicU64,
     /// Individual file pointer, in etype units.
     fp: u64,
     /// Atomic mode: independent accesses lock their whole file range, so
@@ -170,6 +185,13 @@ impl<'c> File<'c> {
         lio_obs::profile::init_from_env();
         if let Some(on) = hints.profile {
             lio_obs::profile::set_enabled(on);
+        }
+        lio_obs::health::init_from_env();
+        if let Some(on) = hints.health {
+            lio_obs::health::set_enabled(on);
+        }
+        if lio_obs::health::enabled() {
+            lio_obs::health::ensure_watchdog();
         }
         if let Some(mode) = hints.effective_pack_kernel() {
             lio_datatype::kernels::force(mode);
@@ -198,6 +220,7 @@ impl<'c> File<'c> {
             nav_alt,
             coll_alt,
             tuner,
+            ops: std::sync::atomic::AtomicU64::new(0),
             fp: 0,
             atomic: false,
         })
@@ -421,7 +444,8 @@ impl<'c> File<'c> {
         lio_obs::profile::record_op(lio_obs::profile::OpClass::CollWrite, total);
         let (eff, nav, coll, tuner) = self.plan_collective();
         let packer = self.packer(&eff, memtype, count, buf.len())?;
-        twophase::write_at_all(
+        self.health_begin(true);
+        let res = twophase::write_at_all(
             self.shared.storage.as_ref(),
             self.comm,
             coll,
@@ -432,7 +456,8 @@ impl<'c> File<'c> {
             total,
             &eff,
             tuner,
-        )
+        );
+        self.health_end(res)
     }
 
     /// Collective read (`MPI_File_read_at_all`).
@@ -448,7 +473,8 @@ impl<'c> File<'c> {
         lio_obs::profile::record_op(lio_obs::profile::OpClass::CollRead, total);
         let (eff, nav, coll, tuner) = self.plan_collective();
         let packer = self.packer(&eff, memtype, count, buf.len())?;
-        twophase::read_at_all(
+        self.health_begin(false);
+        let res = twophase::read_at_all(
             self.shared.storage.as_ref(),
             self.comm,
             coll,
@@ -459,7 +485,30 @@ impl<'c> File<'c> {
             total,
             &eff,
             tuner,
-        )
+        );
+        self.health_end(res)
+    }
+
+    /// Stamp the health heartbeat slot for a starting collective op.
+    fn health_begin(&self, write: bool) {
+        let op = self.ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        lio_obs::health::op_begin(op, write);
+    }
+
+    /// Close out the health slot for a finished collective op and
+    /// surface a watchdog abort. The engine has returned, so every rank
+    /// already reached the closing sync — converting the parked stall
+    /// to [`IoError::Stalled`] here strands no peer. An engine error
+    /// (e.g. a fault abort) wins over a parked stall.
+    fn health_end(&self, res: Result<u64>) -> Result<u64> {
+        if !lio_obs::health::enabled() {
+            return res;
+        }
+        lio_obs::health::op_end();
+        match (res, lio_obs::health::take_stall(self.comm.rank() as u32)) {
+            (Ok(_), Some(info)) => Err(IoError::Stalled(info)),
+            (res, _) => res,
+        }
     }
 
     // ----- individual file pointer ----------------------------------------

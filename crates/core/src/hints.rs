@@ -184,6 +184,11 @@ pub struct Hints {
     /// leaves the process-global setting (and the `LIO_PROFILE`
     /// environment variable) in charge.
     pub profile: Option<bool>,
+    /// Runtime health layer (`lio_obs::health`): `Some(on)` forces
+    /// progress heartbeats + the hang watchdog on or off when a file is
+    /// opened with these hints; `None` leaves the process-global
+    /// setting (and the `LIO_HEALTH` environment variable) in charge.
+    pub health: Option<bool>,
     /// Which storage substrate backs files opened through the
     /// backend-aware open path ([`crate::SharedFile::for_backend`]).
     /// The `LIO_BACKEND` environment variable overrides this hint (see
@@ -216,6 +221,7 @@ impl Hints {
             obs: None,
             trace: None,
             profile: None,
+            health: None,
             backend: BackendKind::Mem,
             autotune: None,
         }
@@ -278,6 +284,15 @@ impl Hints {
     /// variable.
     pub fn profiling(mut self, on: bool) -> Hints {
         self.profile = Some(on);
+        self
+    }
+
+    /// Force the runtime health layer (heartbeats + hang watchdog) on
+    /// or off at open time (builder style). The default (`None`) defers
+    /// to `lio_obs::health::set_enabled` / the `LIO_HEALTH` environment
+    /// variable.
+    pub fn health(mut self, on: bool) -> Hints {
+        self.health = Some(on);
         self
     }
 
@@ -477,7 +492,8 @@ impl Hints {
     /// `backend` (`mem`/`throttled`/`os` — storage substrate for
     /// backend-aware opens), `lio_obs` (`enable`/`disable` — force
     /// metrics recording at open), `lio_trace` (`enable`/`disable` —
-    /// force event tracing at open).
+    /// force event tracing at open), `lio_health` (`enable`/`disable`
+    /// — force the runtime health layer at open).
     ///
     /// ```
     /// use lio_core::{Engine, Hints, SievingMode};
@@ -586,6 +602,13 @@ impl Hints {
                         _ => return Err(HintError::new(k, v, "expected enable or disable")),
                     }
                 }
+                "lio_health" => {
+                    self.health = match v {
+                        "enable" | "true" | "1" => Some(true),
+                        "disable" | "false" | "0" => Some(false),
+                        _ => return Err(HintError::new(k, v, "expected enable or disable")),
+                    }
+                }
                 "lio_autotune" => {
                     self.autotune = match v {
                         "enable" | "true" | "1" => Some(true),
@@ -673,6 +696,12 @@ impl Hints {
         if let Some(on) = self.profile {
             pairs.push((
                 "lio_profile".to_string(),
+                if on { "enable" } else { "disable" }.to_string(),
+            ));
+        }
+        if let Some(on) = self.health {
+            pairs.push((
+                "lio_health".to_string(),
                 if on { "enable" } else { "disable" }.to_string(),
             ));
         }
@@ -844,6 +873,29 @@ mod info_tests {
             .apply_info(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
             .unwrap();
         assert_eq!(back.profile, Some(true));
+    }
+
+    #[test]
+    fn health_info_key() {
+        let h = Hints::default()
+            .apply_info([("lio_health", "enable")])
+            .unwrap();
+        assert_eq!(h.health, Some(true));
+        let h = Hints::default().apply_info([("lio_health", "0")]).unwrap();
+        assert_eq!(h.health, Some(false));
+        assert!(Hints::default()
+            .apply_info([("lio_health", "maybe")])
+            .is_err());
+        // absent by default, emitted (and round-tripped) only when forced
+        assert!(Hints::default()
+            .to_info()
+            .iter()
+            .all(|(k, _)| k != "lio_health"));
+        let pairs = Hints::default().health(true).to_info();
+        let back = Hints::list_based()
+            .apply_info(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+            .unwrap();
+        assert_eq!(back.health, Some(true));
     }
 
     #[test]

@@ -36,6 +36,7 @@ use std::sync::mpsc::{self, Receiver, Sender};
 use std::time::Duration;
 
 use lio_mpi::Comm;
+use lio_obs::health::{self, HbPhase};
 use lio_obs::{LazyCounter, LazyGauge};
 use lio_pfs::{SqBuf, Sqe, StorageFile, SubmissionQueue};
 
@@ -222,6 +223,7 @@ fn ap_pump(
             let Some((lo, take)) = ap.next_window(nav, cb) else {
                 break;
             };
+            health::beat(HbPhase::Pack);
             let t = lio_obs::now();
             let sp = lio_obs::trace::span_ab("pack", take, lo);
             // zero-copy fast path: contiguous memtypes lift the window
@@ -240,6 +242,7 @@ fn ap_pump(
             if obs {
                 OBS_EXCH_DATA_BYTES.add(take);
             }
+            health::beat_bytes(HbPhase::Exchange, take);
             let sp = lio_obs::trace::span_ab("exch.send", ap.iop as u64, take);
             comm.send_vec(ap.iop, TAG_TP_WIN, msg);
             drop(sp);
@@ -423,6 +426,9 @@ impl<'a> Planner<'a> {
                     if i % 2 == 0 {
                         lists[src] = Some(payload);
                     } else {
+                        // header arrival order = rank entry order into the
+                        // collective: the per-op skew baseline
+                        health::window_mark(0, src as u32);
                         hdrs[src] = Some(payload);
                     }
                 }
@@ -432,11 +438,13 @@ impl<'a> Planner<'a> {
                     (0..p_n).map(|p| comm.irecv(p, TAG_TP_DATA)).collect();
                 for _ in 0..p_n {
                     let (_, src, payload) = comm.wait_any(&mut reqs);
+                    health::window_mark(0, src as u32);
                     hdrs[src] = Some(payload);
                 }
             }
         }
         drop(sp);
+        health::window_flush();
         let navs = match engine {
             Engine::ListBased => None,
             Engine::Listless => Some(
@@ -594,8 +602,10 @@ fn spawn_read_lane<'scope>(
         return;
     }
     let th = lio_obs::trace::thread_handle();
+    let hh = health::thread_handle();
     scope.spawn(move || {
         lio_obs::trace::adopt(th);
+        health::adopt(hh);
         lio_pfs::take_spin_ns();
         for job in rx.iter() {
             let Job {
@@ -608,6 +618,9 @@ fn spawn_read_lane<'scope>(
             let sp = lio_obs::trace::span_ab("io.read", off, len as u64);
             let res = read_window(storage, off, &mut buf[..len]);
             drop(sp);
+            // a slow device still completes jobs: each one refreshes the
+            // owning rank's heartbeat, so slow never reads as stuck
+            health::beat_bytes(HbPhase::Io, len as u64);
             // book modelled device time only: the throttle's busy-wait
             // tail is CPU burn and would inflate io_ns / overlap_ns
             let spin = lio_pfs::take_spin_ns();
@@ -636,14 +649,17 @@ fn spawn_write_lane<'scope>(
         return;
     }
     let th = lio_obs::trace::thread_handle();
+    let hh = health::thread_handle();
     scope.spawn(move || {
         lio_obs::trace::adopt(th);
+        health::adopt(hh);
         lio_pfs::take_spin_ns();
         for job in rx.iter() {
             let t = lio_obs::now();
             let sp = lio_obs::trace::span_ab("io.write", job.off, job.len as u64);
             let res = write_window(storage, job.off, &job.buf[..job.len]);
             drop(sp);
+            health::beat_bytes(HbPhase::Io, job.len as u64);
             let spin = lio_pfs::take_spin_ns();
             io_ns.fetch_add(
                 lio_obs::elapsed_ns(t).saturating_sub(spin),
@@ -678,8 +694,10 @@ fn spawn_ring_lane<'scope>(
 ) {
     let (cq_tx, cq_rx) = mpsc::channel();
     let th = lio_obs::trace::thread_handle();
+    let hh = health::thread_handle();
     scope.spawn(move || {
         lio_obs::trace::adopt(th);
+        health::adopt(hh);
         for job in rx.iter() {
             let name = if write {
                 "io.submit.write"
@@ -698,9 +716,12 @@ fn spawn_ring_lane<'scope>(
         // have all completed.
     });
     let th = lio_obs::trace::thread_handle();
+    let hh = health::thread_handle();
     scope.spawn(move || {
         lio_obs::trace::adopt(th);
+        health::adopt(hh);
         for cqe in cq_rx.iter() {
+            health::beat_bytes(HbPhase::Io, cqe.len as u64);
             io_ns.fetch_add(cqe.service_ns, Ordering::Relaxed);
             let mut buf = cqe
                 .buf
@@ -838,6 +859,12 @@ impl<'a> IopWrite<'a> {
             progressed = true;
         }
         while let Some((src, msg)) = comm.try_recv_any(TAG_TP_WIN) {
+            // attribute the arrival to the window the consumer is waiting
+            // on (+1 keeps it distinct from the header round's window 0):
+            // whoever delivers last for the front window is the straggler
+            // holding the pipeline back
+            let front = self.queue.front().map_or(self.next_seq, |s| s.seq);
+            health::window_mark(front + 1, src as u32);
             self.msgq_bytes += msg.len();
             self.planner.peers[src].msgq.push_back(msg);
             if obs {
@@ -938,6 +965,7 @@ impl<'a> IopWrite<'a> {
     ) {
         let len = (plan.io_hi - plan.io_lo) as usize;
         let navs = self.planner.navs;
+        health::beat_window(HbPhase::Pack, seq);
         let _w = lio_obs::trace::span_ab("win", seq, plan.io_lo);
         lio_obs::profile::record_pipeline_window(len as u64);
         let t = lio_obs::now();
@@ -1110,7 +1138,8 @@ pub(crate) fn write_at_all(
             if iop.as_ref().is_some_and(|s| s.storage_pending()) {
                 // Blocked solely on storage: wait on the done channel (a
                 // completion wakes us immediately) and book the stall as
-                // I/O wait, not exchange.
+                // I/O wait, not exchange. The storage lanes heartbeat per
+                // completed job, so no beat is needed here.
                 let t = lio_obs::now();
                 let sp = lio_obs::trace::span("io.wait");
                 let got = done_rx.recv_timeout(IO_WAIT_SLICE);
@@ -1122,11 +1151,15 @@ pub(crate) fn write_at_all(
                         .on_done(d);
                 }
             } else {
+                // Waiting on peers (credits or window messages): a wait
+                // phase, so the watchdog blames whoever we wait for.
+                health::beat(HbPhase::ExchangeWait);
                 std::thread::yield_now();
             }
         }
         fatal = iop.take().and_then(|s| s.fatal);
     });
+    health::window_flush();
 
     // Tuner outcome: before the closing barrier, so every rank's report
     // is merged before the next op's decision runs.
@@ -1314,6 +1347,7 @@ pub(crate) fn read_at_all(
                     }
                     let len = (plan.io_hi - plan.io_lo) as usize;
                     let navs = planner.navs;
+                    health::beat_window(HbPhase::Pack, seq);
                     let _w = lio_obs::trace::span_ab("win", plan.io_lo, plan.io_hi - plan.io_lo);
                     lio_obs::profile::record_pipeline_window(len as u64);
                     let t = lio_obs::now();
@@ -1340,6 +1374,7 @@ pub(crate) fn read_at_all(
                         if obs {
                             OBS_EXCH_DATA_BYTES.add(take);
                         }
+                        health::beat_bytes(HbPhase::Exchange, take);
                         comm.send_vec(p, TAG_TP_RDATA, out);
                     }
                     drop(sp);
@@ -1367,6 +1402,7 @@ pub(crate) fn read_at_all(
         let (idx, src, chunk) = comm.wait_any(&mut reqs);
         drop(sp);
         debug_assert_eq!(src, pend[idx].0);
+        health::beat(HbPhase::Pack);
         let t = lio_obs::now();
         let sp = lio_obs::trace::span_ab("unpack", chunk.len() as u64, 0);
         let put = packer.unpack(&chunk, user, pend[idx].1 - stream_start);

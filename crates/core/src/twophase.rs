@@ -44,6 +44,7 @@ use crate::hints::{Engine, Hints};
 use crate::packer::MemPacker;
 use crate::sieve::{read_window, write_window};
 use crate::view::{FfNav, FileView, ViewNav};
+use lio_obs::health::{self, HbPhase};
 
 // Two-phase breakdown metrics. The `_ns` counters accumulate wall time per
 // phase across all rounds on this process: `exchange_ns` covers AP↔IOP
@@ -561,6 +562,7 @@ pub(crate) fn write_at_all(
         msg.extend_from_slice(&s_lo.to_le_bytes());
         msg.extend_from_slice(&s_hi.to_le_bytes());
         if n > 0 {
+            health::beat(HbPhase::Pack);
             let t = lio_obs::now();
             let sp = lio_obs::trace::span_ab("pack", n, 0);
             // zero-copy fast path: contiguous memtypes append the user
@@ -579,6 +581,7 @@ pub(crate) fn write_at_all(
         if obs {
             OBS_EXCH_DATA_BYTES.add(n);
         }
+        health::beat_bytes(HbPhase::Exchange, n);
         let t = lio_obs::now();
         let sp = lio_obs::trace::span_ab("exch.send", i as u64, n);
         comm.send_vec(i, TAG_TP_DATA, msg);
@@ -617,10 +620,14 @@ pub(crate) fn write_at_all(
                         if i % 2 == 0 {
                             lists[src] = Some(payload);
                         } else {
+                            // one contribution per AP: its arrival time
+                            // feeds the per-op rank-skew histogram
+                            health::window_mark(0, src as u32);
                             datas[src] = Some(payload);
                         }
                     }
                     drop(sp);
+                    health::window_flush();
                     exch_ns += lio_obs::elapsed_ns(t);
                     let mut recv: Vec<RecvList> = Vec::with_capacity(p_n);
                     for (list_bytes, msg) in lists.iter().zip(datas) {
@@ -643,9 +650,11 @@ pub(crate) fn write_at_all(
                         (0..p_n).map(|p| comm.irecv(p, TAG_TP_DATA)).collect();
                     for _ in 0..p_n {
                         let (_, src, payload) = comm.wait_any(&mut reqs);
+                        health::window_mark(0, src as u32);
                         msgs[src] = Some(payload);
                     }
                     drop(sp);
+                    health::window_flush();
                     exch_ns += lio_obs::elapsed_ns(t);
                     let mut placements: Vec<FfPlacement> = Vec::with_capacity(p_n);
                     for (nav_p, msg) in navs.iter().zip(msgs) {
@@ -748,6 +757,7 @@ fn iop_write_listbased(
             .any(|r| r.next_offset().is_some_and(|o| o < win_end));
         if has_data {
             windows += 1;
+            health::beat_window(HbPhase::Io, windows - 1);
             let _w = lio_obs::trace::span_ab("win", windows - 1, win);
             let dense = coverage.as_mut().is_some_and(|c| c.covered(win, win_end));
             if !dense {
@@ -757,6 +767,7 @@ fn iop_write_listbased(
                 drop(sp);
                 io_ns += lio_obs::elapsed_ns(t);
             }
+            health::beat(HbPhase::Pack);
             let t = lio_obs::now();
             let sp = lio_obs::trace::span_ab("pack.place", win, 0);
             for r in recv.iter_mut() {
@@ -769,6 +780,7 @@ fn iop_write_listbased(
             write_window(storage, win, fb)?;
             drop(sp);
             io_ns += lio_obs::elapsed_ns(t);
+            health::beat_bytes(HbPhase::Io, fb.len() as u64);
         }
         win = win_end;
     }
@@ -833,6 +845,7 @@ fn iop_write_listless(
         }
         if any {
             windows += 1;
+            health::beat_window(HbPhase::Io, windows - 1);
             let _w = lio_obs::trace::span_ab("win", windows - 1, win);
             let dense = hints.detect_dense_writes
                 && state
@@ -846,6 +859,7 @@ fn iop_write_listless(
                 drop(sp);
                 io_ns += lio_obs::elapsed_ns(t);
             }
+            health::beat(HbPhase::Pack);
             let t = lio_obs::now();
             let sp = lio_obs::trace::span_ab("pack.place", win, 0);
             for (k, p) in placements.iter().enumerate() {
@@ -867,6 +881,7 @@ fn iop_write_listless(
             write_window(storage, win, fb)?;
             drop(sp);
             io_ns += lio_obs::elapsed_ns(t);
+            health::beat_bytes(HbPhase::Io, fb.len() as u64);
         }
         win = win_end;
     }
@@ -955,6 +970,7 @@ pub(crate) fn read_at_all(
         let mut msg = Vec::with_capacity(16);
         msg.extend_from_slice(&s_lo.to_le_bytes());
         msg.extend_from_slice(&s_hi.to_le_bytes());
+        health::beat(HbPhase::Exchange);
         let t = lio_obs::now();
         let sp = lio_obs::trace::span_ab("exch.send", i as u64, 0);
         comm.send_vec(i, TAG_TP_DATA, msg);
@@ -979,8 +995,10 @@ pub(crate) fn read_at_all(
                 let t = lio_obs::now();
                 let sp = lio_obs::trace::span("exch.wait");
                 for p in 0..comm.size() {
+                    health::beat(HbPhase::ExchangeWait);
                     let list_bytes = comm.recv(p, TAG_TP_LIST);
                     let hdr = comm.recv(p, TAG_TP_DATA);
+                    health::window_mark(0, p as u32);
                     let s_lo = u64::from_le_bytes(hdr[0..8].try_into().expect("s_lo"));
                     let s_hi = u64::from_le_bytes(hdr[8..16].try_into().expect("s_hi"));
                     promised.push(s_hi - s_lo);
@@ -994,6 +1012,7 @@ pub(crate) fn read_at_all(
                     outs.push(Vec::new());
                 }
                 drop(sp);
+                health::window_flush();
                 exch_ns += lio_obs::elapsed_ns(t);
                 let lo = recv.iter().filter_map(|r| r.next_offset()).min();
                 let hi = recv.iter().filter_map(|r| r.end_offset()).max();
@@ -1013,6 +1032,7 @@ pub(crate) fn read_at_all(
                             if obs {
                                 OBS_WINDOWS.incr();
                             }
+                            health::beat_bytes(HbPhase::Io, fb.len() as u64);
                             let _w = lio_obs::trace::span_ab("win", win, win_end - win);
                             let t = lio_obs::now();
                             let sp = lio_obs::trace::span_ab("io.read", win, fb.len() as u64);
@@ -1022,6 +1042,7 @@ pub(crate) fn read_at_all(
                             }
                             drop(sp);
                             io_ns += lio_obs::elapsed_ns(t);
+                            health::beat(HbPhase::Pack);
                             let t = lio_obs::now();
                             let sp = lio_obs::trace::span_ab("pack.place", win, 0);
                             for (r, out) in recv.iter_mut().zip(outs.iter_mut()) {
@@ -1041,6 +1062,7 @@ pub(crate) fn read_at_all(
                     if obs {
                         OBS_EXCH_DATA_BYTES.add(out.len() as u64);
                     }
+                    health::beat_bytes(HbPhase::Exchange, out.len() as u64);
                     comm.send_vec(p, TAG_TP_RDATA, out);
                 }
                 exch_ns += lio_obs::elapsed_ns(t);
@@ -1054,12 +1076,15 @@ pub(crate) fn read_at_all(
                 let t = lio_obs::now();
                 let sp = lio_obs::trace::span("exch.wait");
                 for p in 0..comm.size() {
+                    health::beat(HbPhase::ExchangeWait);
                     let msg = comm.recv(p, TAG_TP_DATA);
+                    health::window_mark(0, p as u32);
                     let s_lo = u64::from_le_bytes(msg[0..8].try_into().expect("s_lo"));
                     let s_hi = u64::from_le_bytes(msg[8..16].try_into().expect("s_hi"));
                     spans.push((s_lo, s_hi));
                 }
                 drop(sp);
+                health::window_flush();
                 exch_ns += lio_obs::elapsed_ns(t);
                 let lo = spans
                     .iter()
@@ -1103,6 +1128,7 @@ pub(crate) fn read_at_all(
                             if obs {
                                 OBS_WINDOWS.incr();
                             }
+                            health::beat_bytes(HbPhase::Io, fb.len() as u64);
                             let _w = lio_obs::trace::span_ab("win", win, win_end - win);
                             let t = lio_obs::now();
                             let sp = lio_obs::trace::span_ab("io.read", win, fb.len() as u64);
@@ -1112,6 +1138,7 @@ pub(crate) fn read_at_all(
                             }
                             drop(sp);
                             io_ns += lio_obs::elapsed_ns(t);
+                            health::beat(HbPhase::Pack);
                             let t = lio_obs::now();
                             let sp = lio_obs::trace::span_ab("pack.place", win, 0);
                             for (k, nav_p) in navs.iter().enumerate() {
@@ -1143,6 +1170,7 @@ pub(crate) fn read_at_all(
                     if obs {
                         OBS_EXCH_DATA_BYTES.add(out.len() as u64);
                     }
+                    health::beat_bytes(HbPhase::Exchange, out.len() as u64);
                     comm.send_vec(p, TAG_TP_RDATA, out);
                 }
                 exch_ns += lio_obs::elapsed_ns(t);
@@ -1155,6 +1183,7 @@ pub(crate) fn read_at_all(
         if dom.1 <= dom.0 {
             continue;
         }
+        health::beat(HbPhase::ExchangeWait);
         let t = lio_obs::now();
         let sp = lio_obs::trace::span_ab("exch.wait", i as u64, 0);
         let data = comm.recv(i, TAG_TP_RDATA);
@@ -1163,6 +1192,7 @@ pub(crate) fn read_at_all(
         let (s_lo, s_hi) = my_intersections[i];
         debug_assert_eq!(data.len() as u64, s_hi - s_lo);
         if s_hi > s_lo {
+            health::beat(HbPhase::Pack);
             let t = lio_obs::now();
             let sp = lio_obs::trace::span_ab("unpack", data.len() as u64, 0);
             let put = packer.unpack(&data, user, s_lo - stream_start);

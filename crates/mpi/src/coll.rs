@@ -12,6 +12,9 @@ impl Comm {
         if p == 1 {
             return;
         }
+        // A rank parked here is waiting on peers, not stuck itself —
+        // the watchdog treats `barrier` as a wait phase.
+        lio_obs::health::beat(lio_obs::health::HbPhase::Barrier);
         let me = self.rank();
         let mut dist = 1;
         let mut round = 0;

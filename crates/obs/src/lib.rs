@@ -25,9 +25,12 @@
 //!
 //! The [`trace`] module adds per-rank *event* recording on top of the
 //! aggregate metrics (spans, message edges, Perfetto export,
-//! critical-path analysis); [`json`] is the tiny parser the tooling
-//! uses to check emitted artifacts.
+//! critical-path analysis); [`health`] adds runtime liveness on top of
+//! both (progress heartbeats, a hang watchdog, straggler attribution,
+//! live status reports); [`json`] is the tiny parser the tooling uses
+//! to check emitted artifacts.
 
+pub mod health;
 pub mod json;
 pub mod profile;
 #[cfg(feature = "trace")]

@@ -852,6 +852,37 @@ pub fn render_report(reports: &[OpReport], tl: &Timeline) -> String {
              phase attributions above may be incomplete\n",
         );
     }
+    // Per-rank skew column from the runtime health layer: which ranks
+    // closed collective windows (arrived last) and how much spread they
+    // cost. Only present when LIO_HEALTH armed the heartbeats.
+    if crate::health::enabled() {
+        let skews = crate::health::rank_skews();
+        if !skews.is_empty() {
+            out.push_str("rank skew (health): windows each rank arrived last in\n");
+            out.push_str(&format!(
+                "{:>4} {:>12} {:>14} {:>14}\n",
+                "rank", "windows last", "total skew ms", "avg skew ms"
+            ));
+            for s in &skews {
+                out.push_str(&format!(
+                    "{:>4} {:>12} {:>14.3} {:>14.3}\n",
+                    s.rank,
+                    s.windows_last,
+                    s.skew_ns as f64 / 1e6,
+                    s.skew_ns as f64 / s.windows_last as f64 / 1e6,
+                ));
+            }
+            match crate::health::straggler() {
+                Some(st) => out.push_str(&format!(
+                    "  straggler: rank {} ({} consecutive windows, last skew {:.3} ms)\n",
+                    st.rank,
+                    st.windows,
+                    st.skew_ns as f64 / 1e6
+                )),
+                None => out.push_str("  straggler: none flagged\n"),
+            }
+        }
+    }
     out
 }
 

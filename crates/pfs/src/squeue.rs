@@ -229,6 +229,10 @@ impl Default for QueueConfig {
 struct Entry {
     sqe: Sqe,
     reply: Sender<Cqe>,
+    /// The submitting rank's health identity: the servicing worker
+    /// adopts it so its heartbeats attribute storage progress to the
+    /// rank that asked for the I/O.
+    health: lio_obs::health::Handle,
 }
 
 struct QState {
@@ -324,9 +328,11 @@ impl SubmissionQueue {
         st.entries.push_back(Entry {
             sqe,
             reply: reply.clone(),
+            health: lio_obs::health::thread_handle(),
         });
         OBS_SUBMITTED.incr();
         OBS_DEPTH_MAX.record_max(st.entries.len() as u64);
+        lio_obs::health::queue_depth(st.entries.len() as u64);
     }
 }
 
@@ -418,6 +424,12 @@ pub(crate) fn execute_inline(
     OBS_SUBMITTED.incr();
     let (result, buf, _len) = execute(device, op);
     OBS_COMPLETED.incr();
+    // Inline service runs on the submitting rank's own thread: the
+    // heartbeat needs no adoption.
+    lio_obs::health::beat_bytes(
+        lio_obs::health::HbPhase::Io,
+        result.as_ref().map(|&n| n as u64).unwrap_or(0),
+    );
     (result, buf)
 }
 
@@ -425,14 +437,21 @@ pub(crate) fn execute_inline(
 /// and send its completion. A dropped reply receiver is fine — the
 /// caller abandoned the harvest and the buffer dies with the Cqe.
 fn service(device: &Arc<dyn StorageFile>, entry: Entry) {
-    let Entry { sqe, reply } = entry;
+    let Entry { sqe, reply, health } = entry;
     let Sqe { token, op } = sqe;
+    lio_obs::health::adopt(health);
     crate::take_spin_ns(); // reset this thread's throttle-spin ledger
     let t0 = Instant::now();
     let (result, buf, len) = execute(device, op);
     let spin = crate::take_spin_ns();
     let service_ns = (t0.elapsed().as_nanos() as u64).saturating_sub(spin);
     OBS_COMPLETED.incr();
+    // Every serviced entry is progress for the submitting rank — a slow
+    // device still beats once per completion, so slow ≠ stuck.
+    lio_obs::health::beat_bytes(
+        lio_obs::health::HbPhase::Io,
+        result.as_ref().map(|&n| n as u64).unwrap_or(0),
+    );
     let _ = reply.send(Cqe {
         token,
         result,

@@ -69,6 +69,45 @@ pub fn repro_hint(seed: u64) -> String {
     format!("replay with: LIO_FAULT_SEED={seed} cargo test -p lio-core --test faults")
 }
 
+/// Where a seeded stall wedges a rank. Only phases every rank passes
+/// through on every collective (with `cb_nodes = 0`, all ranks are both
+/// AP and IOP) are eligible, so the plan never targets a phase the
+/// victim rank would skip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallPhase {
+    /// Wedge on an exchange-side heartbeat (send/receive path).
+    Exchange,
+    /// Wedge on a storage-side heartbeat (window read/write path).
+    Io,
+}
+
+/// A seeded hang: exactly one rank stops making progress in one phase of
+/// one collective, for `hold_ms` (or until the watchdog flags it —
+/// whichever comes first). Pure function of the seed, like the fault
+/// plans, so a CI log's seed replays the exact hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallPlan {
+    pub rank: u32,
+    pub phase: StallPhase,
+    pub hold_ms: u64,
+}
+
+/// The stall plan for a corpus seed and world size.
+pub fn stall_plan(seed: u64, nprocs: usize) -> StallPlan {
+    let mut rng = Rng::new(seed ^ 0x5741_4348_444F_4721); // "WATCHDOG!"
+    StallPlan {
+        rank: rng.below(nprocs as u64) as u32,
+        phase: if rng.below(2) == 0 {
+            StallPhase::Exchange
+        } else {
+            StallPhase::Io
+        },
+        // long enough that only the watchdog (not the hold expiry)
+        // releases the wedge in hang-detection tests
+        hold_ms: 2_000 + rng.below(2_000),
+    }
+}
+
 /// The xorshift64* generator the fault injectors use, for test helpers
 /// that need auxiliary per-seed randomness (patterns, lengths, rank
 /// counts) without reaching for a global RNG.
@@ -149,5 +188,18 @@ mod tests {
     #[test]
     fn repro_hint_names_the_seed() {
         assert!(repro_hint(99).contains("LIO_FAULT_SEED=99"));
+    }
+
+    #[test]
+    fn stall_plans_are_deterministic_and_in_range() {
+        for &seed in &FIXED_SEEDS {
+            let p = stall_plan(seed, 4);
+            assert_eq!(p, stall_plan(seed, 4), "same seed, same hang");
+            assert!(p.rank < 4);
+            assert!(p.hold_ms >= 2_000);
+        }
+        // different seeds should not all pick the same victim
+        let ranks: Vec<u32> = (0..16).map(|s| stall_plan(s, 4).rank).collect();
+        assert!(ranks.iter().any(|&r| r != ranks[0]));
     }
 }
